@@ -1,0 +1,104 @@
+"""A1 — ablation: deficit-counter scope.
+
+The paper's symbol table writes one ``DC_i`` per flow; its prose says
+"each interface implementing DRR independently", i.e. one counter per
+(flow, interface). The two readings agree on every scenario in the
+paper (first bench: Figure 6 phase rates identical to 2 decimals), but
+the shared reading is unsound in general: when a flow is served by two
+interfaces concurrently, the second interface's quantum grants keep the
+shared pool non-empty, the first interface's service turn never closes,
+and co-resident flows starve (second bench — flow0 measured at 1.0
+instead of 2.33 Mb/s). This library therefore defaults to the
+independent reading. See DESIGN.md §"Deviations found".
+
+Run: pytest benchmarks/bench_ablation_deficit_scope.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.core.runner import run_scenario
+from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario
+from repro.experiments import fig6
+from repro.fairness.waterfill import weighted_maxmin
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.units import mbps
+
+
+@pytest.mark.parametrize("scope", ["flow", "flow_interface"])
+def test_deficit_scope_on_fig6(benchmark, scope):
+    result = benchmark.pedantic(
+        fig6.run,
+        args=(lambda: MiDrrScheduler(deficit_scope=scope),),
+        rounds=1,
+        iterations=1,
+    )
+    measured = fig6.phase_rates(result)
+
+    banner(f"A1 — deficit_scope={scope!r} on Figure 6")
+    rows = []
+    for phase, expected in fig6.PAPER_PHASE_RATES.items():
+        for flow_id, paper_value in expected.items():
+            rows.append(
+                [phase, flow_id, f"{measured[phase][flow_id]:.2f}", f"{paper_value:.2f}"]
+            )
+    emit(render_table(["phase", "flow", "measured", "paper"], rows))
+
+    for phase, expected in fig6.PAPER_PHASE_RATES.items():
+        for flow_id, paper_value in expected.items():
+            assert measured[phase][flow_id] == pytest.approx(
+                paper_value, rel=0.05
+            ), f"scope={scope} {phase}/{flow_id}"
+
+
+def test_shared_deficit_starvation(benchmark):
+    """The instance where the shared-DC reading starves a flow."""
+    capacities = {"if0": 1, "if1": 3, "if2": 3}
+    flow_specs = [
+        ("flow0", 1.0, ("if0", "if1")),
+        ("flow1", 2.0, ("if1", "if2")),
+    ]
+    scenario = Scenario(
+        name="shared-dc-starvation",
+        interfaces=tuple(
+            InterfaceSpec(j, mbps(c)) for j, c in capacities.items()
+        ),
+        flows=tuple(
+            FlowSpec(f, weight=w, interfaces=i) for f, w, i in flow_specs
+        ),
+        duration=40.0,
+    )
+
+    def run_both():
+        return {
+            scope: run_scenario(
+                scenario, lambda s=scope: MiDrrScheduler(deficit_scope=s)
+            ).rates(5, 40)
+            for scope in ("flow", "flow_interface")
+        }
+
+    rates = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    reference = weighted_maxmin(
+        {f: (w, i) for f, w, i in flow_specs},
+        {j: mbps(c) for j, c in capacities.items()},
+    )
+
+    banner("A1 — shared vs independent deficit counters (Mb/s)")
+    rows = [
+        [
+            flow_id,
+            f"{rates['flow'][flow_id] / 1e6:.2f}",
+            f"{rates['flow_interface'][flow_id] / 1e6:.2f}",
+            f"{reference.rate(flow_id) / 1e6:.2f}",
+        ]
+        for flow_id, _, _ in flow_specs
+    ]
+    emit(render_table(["flow", "shared DC", "per-interface DC", "exact"], rows))
+    emit("shared DC: flow1's turn at if1 never closes → flow0 starved off if1")
+
+    # Shared: flow0 pinned to its private interface only (1.0 Mb/s).
+    assert rates["flow"]["flow0"] == pytest.approx(mbps(1.0), rel=0.05)
+    # Independent: flow0 recovers (≥ 85 % of its exact 2.33 Mb/s).
+    assert rates["flow_interface"]["flow0"] > 0.85 * reference.rate("flow0")

@@ -1,0 +1,75 @@
+"""A3 — ablation: remove the service flag.
+
+miDRR without its service flag *is* independent per-interface DRR — the
+paper's "naive implementation of DRR on each interface does not work
+either" (§3). This bench quantifies exactly what the one bit buys on
+the Figure 1(c) and Figure 6 topologies.
+
+Run: pytest benchmarks/bench_ablation_no_flag.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fig1, fig6
+from repro.fairness.metrics import jain_index
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.schedulers.per_interface import PerInterfaceScheduler
+from repro.units import mbps
+
+
+def test_flag_vs_no_flag_fig1c(benchmark):
+    scenario = fig1.scenario_c()
+
+    def run_both():
+        return (
+            fig1.measured_rates(scenario, MiDrrScheduler),
+            fig1.measured_rates(scenario, PerInterfaceScheduler.drr),
+        )
+
+    with_flag, without_flag = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    banner("A3 — the service flag on Figure 1(c)")
+    rows = [
+        ["miDRR (flag)", f"{with_flag['a'] / 1e6:.2f}", f"{with_flag['b'] / 1e6:.2f}",
+         f"{jain_index(list(with_flag.values())):.3f}"],
+        ["per-if DRR (no flag)", f"{without_flag['a'] / 1e6:.2f}",
+         f"{without_flag['b'] / 1e6:.2f}",
+         f"{jain_index(list(without_flag.values())):.3f}"],
+    ]
+    emit(render_table(["scheduler", "a (Mb/s)", "b (Mb/s)", "Jain"], rows))
+
+    # Who wins and by what factor: flag gives 1:1, no flag gives 3:1.
+    assert with_flag["a"] / with_flag["b"] == pytest.approx(1.0, rel=0.05)
+    assert without_flag["a"] / without_flag["b"] == pytest.approx(3.0, rel=0.15)
+    assert jain_index(list(with_flag.values())) > jain_index(
+        list(without_flag.values())
+    )
+
+
+def test_flag_vs_no_flag_fig6_phase1(benchmark):
+    def run_both():
+        return (
+            fig6.run(MiDrrScheduler),
+            fig6.run(PerInterfaceScheduler.drr),
+        )
+
+    with_flag, without_flag = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    banner("A3 — the service flag on Figure 6 phase 1 (Mb/s)")
+    rows = []
+    for label, result in (("flag", with_flag), ("no flag", without_flag)):
+        rates = result.rates(2.0, 60.0)
+        rows.append(
+            [label] + [f"{rates[f] / 1e6:.2f}" for f in ("a", "b", "c")]
+        )
+    emit(render_table(["variant", "a", "b", "c"], rows))
+
+    flag_rates = with_flag.rates(2.0, 60.0)
+    noflag_rates = without_flag.rates(2.0, 60.0)
+    # With the flag, flow a holds its full 3 Mb/s interface; without it,
+    # flow b muscles onto if1 and a loses roughly half.
+    assert flag_rates["a"] == pytest.approx(mbps(3), rel=0.05)
+    assert noflag_rates["a"] < mbps(2.2)

@@ -1,0 +1,60 @@
+"""E12 — the §2 property battery across every scheduler.
+
+One table: which of the paper's four desired properties each scheduler
+provides. miDRR (both exclusion variants) passes all four; the
+baselines fail exactly where §1–§3 of the paper says they must.
+
+Run: pytest benchmarks/bench_ext_conformance.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.fairness.conformance import run_conformance
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+
+CANDIDATES = [
+    ("miDRR", MiDrrScheduler),
+    ("miDRR+counter", lambda: MiDrrScheduler(exclusion="counter")),
+    ("per-if WFQ", PerInterfaceScheduler.wfq),
+    ("fifo stripe", PerInterfaceScheduler.fifo),
+    ("per-if DRR", PerInterfaceScheduler.drr),
+    ("static split", StaticSplitScheduler),
+]
+
+
+def test_conformance_matrix(benchmark):
+    reports = benchmark.pedantic(
+        lambda: {
+            label: run_conformance(factory, label=label)
+            for label, factory in CANDIDATES
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("E12 — §2 property battery")
+    property_names = [result.name for result in reports["miDRR"].results]
+    rows = []
+    for label, report in reports.items():
+        cells = [
+            "PASS" if result.passed else "FAIL" for result in report.results
+        ]
+        rows.append([label, *cells])
+    emit(render_table(["scheduler", *property_names], rows))
+
+    assert reports["miDRR"].passed
+    assert reports["miDRR+counter"].passed
+    wfq_failures = {result.name for result in reports["per-if WFQ"].failures()}
+    assert wfq_failures == {"rate preferences"}
+    fifo_failures = {result.name for result in reports["fifo stripe"].failures()}
+    assert "rate preferences" in fifo_failures
+    drr_failures = {result.name for result in reports["per-if DRR"].failures()}
+    assert "rate preferences" in drr_failures
+    static_failures = {
+        result.name for result in reports["static split"].failures()
+    }
+    assert "use new capacity" in static_failures

@@ -1,0 +1,65 @@
+"""E13 — flow completion times under trace-driven smartphone churn.
+
+The user-visible metric the paper's steady-state evaluation leaves
+implicit: with a realistic short-flow workload (arrivals and sizes
+from the Figure 7 phone model) plus a saturating background backup,
+how long do transfers take under each scheduler?
+
+Run: pytest benchmarks/bench_ext_fct.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fct
+
+
+def test_fct_under_contention(benchmark):
+    results = benchmark.pedantic(
+        fct.run,
+        kwargs={"seed": 1, "with_elephant": True},
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("E13 — flow completion times with a background elephant")
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            [
+                label,
+                f"{result.median():.2f} s",
+                f"{result.p90():.2f} s",
+                f"{result.completed}/{result.offered}",
+            ]
+        )
+    emit(render_table(["scheduler", "median FCT", "p90 FCT", "completed"], rows))
+
+    midrr = results["miDRR"]
+    # miDRR finishes every trace flow despite the elephant.
+    assert midrr.completion_fraction() == 1.0
+    # And no baseline beats it on completions.
+    for label, result in results.items():
+        assert result.completed <= midrr.completed, label
+    # Static splitting strands flows behind its pinning decisions.
+    assert results["static split"].completed < midrr.completed
+    # Among full completers, miDRR's tail is no worse than naive DRR's.
+    assert midrr.p90() <= results["per-if DRR"].p90() * 1.05
+
+
+def test_fct_light_load_all_equal(benchmark):
+    """Without contention every work-conserving scheduler is fine —
+    the differences the paper targets only appear under pressure."""
+    results = benchmark.pedantic(
+        fct.run, kwargs={"seed": 1, "with_elephant": False}, rounds=1, iterations=1
+    )
+    banner("E13 — light load (no elephant): schedulers all comparable")
+    rows = [
+        [label, f"{r.median():.2f} s", f"{r.p90():.2f} s", f"{r.completed}/{r.offered}"]
+        for label, r in results.items()
+    ]
+    emit(render_table(["scheduler", "median FCT", "p90 FCT", "completed"], rows))
+    medians = [result.median() for result in results.values()]
+    assert max(medians) < 4 * min(medians)

@@ -1,0 +1,58 @@
+"""E1 — Figure 1: the motivating allocations under every scheduler.
+
+Regenerates the numbers behind Figure 1(a)–(c): per-interface WFQ's
+(1.5, 0.5) failure on panel (c) versus miDRR's (1.0, 1.0), plus the
+weighted-infeasible variant from §1.
+
+Run: pytest benchmarks/bench_fig01_motivating.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_rate_table
+from repro.experiments import fig1
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+from repro.units import mbps
+
+SCHEDULERS = {
+    "miDRR": MiDrrScheduler,
+    "per-interface WFQ": PerInterfaceScheduler.wfq,
+    "per-interface DRR": PerInterfaceScheduler.drr,
+    "static split": StaticSplitScheduler,
+}
+
+
+@pytest.mark.parametrize("scenario_name", list(fig1.ALL_SCENARIOS))
+def test_fig1_scenarios(benchmark, scenario_name):
+    scenario = fig1.ALL_SCENARIOS[scenario_name]()
+
+    def run_all():
+        return {
+            label: fig1.measured_rates(scenario, factory)
+            for label, factory in SCHEDULERS.items()
+        }
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    reference = fig1.fluid_reference(scenario)
+    flow_order = [spec.flow_id for spec in scenario.flows]
+    rates["fluid max-min"] = {f: reference.rate(f) for f in flow_order}
+    banner(f"Figure 1 — {scenario_name}")
+    emit(render_rate_table(rates, flow_order))
+
+    # Shape assertions: miDRR matches the fluid reference everywhere.
+    for flow_id in flow_order:
+        assert rates["miDRR"][flow_id] == pytest.approx(
+            reference.rate(flow_id), rel=0.05
+        )
+    if scenario_name == "fig1c":
+        # The paper's headline: WFQ per interface gives a 3:1 split.
+        assert rates["per-interface WFQ"]["a"] == pytest.approx(
+            mbps(1.5), rel=0.05
+        )
+        assert rates["per-interface WFQ"]["b"] == pytest.approx(
+            mbps(0.5), rel=0.05
+        )

@@ -1,0 +1,61 @@
+"""E2/E3 — Figure 6: fair packet scheduling with miDRR over time.
+
+Regenerates Figure 6(b) (per-phase rates, flow completions at 66 s and
+85 s) and Figure 6(c) (the first-seconds transient).
+
+Run: pytest benchmarks/bench_fig06_fair_scheduling.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.analysis.timeseries import settle_time
+from repro.experiments import fig6
+
+
+def test_fig6_rates_and_completions(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+
+    banner("Figure 6(b) — phase rates (Mb/s)")
+    measured = fig6.phase_rates(result)
+    rows = []
+    for phase, expected in fig6.PAPER_PHASE_RATES.items():
+        for flow_id, paper_value in expected.items():
+            rows.append(
+                [
+                    phase,
+                    flow_id,
+                    f"{measured[phase][flow_id]:.2f}",
+                    f"{paper_value:.2f}",
+                ]
+            )
+    emit(render_table(["phase", "flow", "measured", "paper"], rows))
+    emit(
+        f"completions: a at {result.completions['a']:.1f} s (paper 66), "
+        f"b at {result.completions['b']:.1f} s (paper 85)"
+    )
+
+    for phase, expected in fig6.PAPER_PHASE_RATES.items():
+        for flow_id, paper_value in expected.items():
+            assert measured[phase][flow_id] == pytest.approx(
+                paper_value, rel=0.04
+            ), f"{phase}/{flow_id}"
+    assert result.completions["a"] == pytest.approx(66.0, abs=1.5)
+    assert result.completions["b"] == pytest.approx(85.0, abs=1.5)
+
+
+def test_fig6c_transient(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+
+    banner("Figure 6(c) — first 5 s of flow a (0.5 s bins, Mb/s)")
+    series = result.timeseries("a", bin_width=0.5)[:10]
+    rows = [[f"{t:.2f}", f"{rate / 1e6:.2f}"] for t, rate in series]
+    emit(render_table(["t (s)", "rate"], rows))
+
+    settle = settle_time(
+        result.timeseries("a", bin_width=0.5), 3e6, tolerance=0.2e6, hold=4
+    )
+    emit(f"flow a settles at fair share by t={settle:.1f} s (paper: 'quickly')")
+    assert settle is not None and settle < 5.0

@@ -1,0 +1,51 @@
+"""E4 — Figure 7: CDF of concurrent flows on smartphones.
+
+Regenerates the concurrency CDF from the generative smartphone model
+calibrated to the paper's published statistics (P[N ≥ 7 | active] ≈
+0.10, max 35 concurrent flows).
+
+Run: pytest benchmarks/bench_fig07_concurrent_flows.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fig7
+
+
+def test_fig7_concurrency_cdf(benchmark):
+    result = benchmark.pedantic(
+        fig7.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+
+    banner("Figure 7 — CDF of concurrent flows (active periods)")
+    rows = [[n, f"{p:.3f}"] for n, p in result.cdf() if n <= 20]
+    emit(render_table(["N", "P[≤N]"], rows))
+    emit(
+        f"P[N ≥ 7 | active] = {result.fraction_7_or_more:.3f} (paper 0.10); "
+        f"max concurrent = {result.max_concurrent} (paper 35); "
+        f"{result.num_flows} flows over one device-week"
+    )
+
+    assert result.fraction_7_or_more == pytest.approx(0.10, abs=0.04)
+    assert 30 <= result.max_concurrent <= 35
+
+
+def test_fig7_multi_seed_stability(benchmark):
+    """The calibration is a property of the model, not one lucky seed."""
+
+    def run_three():
+        return [fig7.run(seed=seed) for seed in (1, 2, 3)]
+
+    results = benchmark.pedantic(run_three, rounds=1, iterations=1)
+    banner("Figure 7 — seed stability")
+    rows = [
+        [seed, f"{r.fraction_7_or_more:.3f}", r.max_concurrent]
+        for seed, r in zip((1, 2, 3), results)
+    ]
+    emit(render_table(["seed", "P[N≥7]", "max"], rows))
+    for r in results:
+        assert 0.05 < r.fraction_7_or_more < 0.16
+        assert 28 <= r.max_concurrent <= 35

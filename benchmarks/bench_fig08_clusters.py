@@ -1,0 +1,91 @@
+"""E5 — Figure 8: rate clusters through the Figure 6 experiment.
+
+Regenerates the three cluster panels (one per phase) from measured
+service, validates the rate clustering property (Definition 2), and
+cross-checks against the exact fluid solver's clusters.
+
+Run: pytest benchmarks/bench_fig08_clusters.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fig6
+from repro.fairness.clusters import check_rate_clustering
+from repro.fairness.waterfill import weighted_maxmin
+from repro.units import mbps
+
+
+def test_fig8_cluster_evolution(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+
+    banner("Figure 8 — clusters per phase (chronological)")
+    measured = fig6.phase_clusters(result)
+    rows = []
+    for phase, clusters in measured.items():
+        for cluster in clusters:
+            rows.append(
+                [
+                    phase,
+                    "{" + ",".join(sorted(cluster.flows)) + "}",
+                    "{" + ",".join(sorted(cluster.interfaces)) + "}",
+                    f"{cluster.normalized_rate / 1e6:.2f}",
+                ]
+            )
+    emit(render_table(["phase", "flows", "interfaces", "Mb/s per weight"], rows))
+
+    # Exact structural match with the paper's panels.
+    for phase, expected in fig6.PAPER_CLUSTERS.items():
+        got = {(c.flows, c.interfaces) for c in measured[phase]}
+        want = {(flows, ifaces) for flows, ifaces, _ in expected}
+        assert got == want, f"{phase}: {got} != {want}"
+        for flows, ifaces, level_mbps in expected:
+            cluster = next(c for c in measured[phase] if c.flows == flows)
+            assert cluster.normalized_rate == pytest.approx(
+                mbps(level_mbps), rel=0.05
+            )
+
+    # Definition 2 holds in every phase.
+    prefs = fig6.scenario().preference_set()
+    for phase, clusters in measured.items():
+        violations = check_rate_clustering(clusters, prefs)
+        assert not violations, f"{phase}: {violations}"
+
+
+def test_fig8_matches_fluid_solver(benchmark):
+    """The measured clusters equal the exact solver's clusters."""
+
+    def solve_phases():
+        scenario = fig6.scenario()
+        caps = scenario.capacities()
+        phase_flows = {
+            "phase1": ["a", "b", "c"],
+            "phase2": ["b", "c"],
+            "phase3": ["c"],
+        }
+        allocations = {}
+        for phase, alive in phase_flows.items():
+            flows = {
+                spec.flow_id: (spec.weight, spec.interfaces)
+                for spec in scenario.flows
+                if spec.flow_id in alive
+            }
+            allocations[phase] = weighted_maxmin(flows, caps)
+        return allocations
+
+    allocations = benchmark.pedantic(solve_phases, rounds=1, iterations=1)
+    banner("Figure 8 — exact fluid clusters")
+    for phase, allocation in allocations.items():
+        for cluster in allocation.clusters:
+            emit(
+                f"{phase}: {{{','.join(sorted(cluster.flows))}}} × "
+                f"{{{','.join(sorted(cluster.interfaces))}}} @ "
+                f"{float(cluster.level) / 1e6:.2f}"
+            )
+    # Phase 1 has two clusters, later phases one each (unused if1 in
+    # phase 3 is idle, not clustered).
+    assert len(allocations["phase1"].clusters) == 2
+    assert len(allocations["phase2"].clusters) == 1
+    assert allocations["phase3"].idle_interfaces == frozenset({"if1"})

@@ -1,0 +1,96 @@
+"""E6 — Figure 9: scheduling-decision overhead vs number of interfaces.
+
+The paper profiles its kernel bridge making decisions over 1,000 queued
+packets with 4–16 virtual interfaces: decision time grows with the
+interface count (more service flags to skip) and is independent of the
+number of flows; < 2.5 µs at 16 interfaces in kernel C.
+
+This bench uses pytest-benchmark to time the Python `select()` directly
+(the honest per-decision figure) and prints the same per-interface-count
+CDF summary the paper plots. Absolute values are Python-scale; the two
+shape claims are asserted.
+
+Run: pytest benchmarks/bench_fig09_overhead.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fig9
+
+
+@pytest.mark.parametrize("num_interfaces", fig9.INTERFACE_COUNTS)
+def test_fig9_decision_latency(benchmark, num_interfaces):
+    """Per-decision latency at each interface count (paper's x-axis)."""
+    scheduler, interface_ids, flows = fig9._build_scheduler(
+        num_interfaces, fig9.DEFAULT_FLOWS
+    )
+    flows_by_id = {flow.flow_id: flow for flow in flows}
+    cursor = {"index": 0}
+
+    def one_decision():
+        interface_id = interface_ids[cursor["index"] % num_interfaces]
+        cursor["index"] += 1
+        packet = scheduler.select(interface_id)
+        if packet is not None:
+            flow = flows_by_id[packet.flow_id]
+            from repro.net.packet import Packet
+
+            flow.offer(Packet(flow_id=flow.flow_id, size_bytes=1500))
+            scheduler.notify_backlogged(flow)
+        return packet
+
+    benchmark(one_decision)
+
+
+def test_fig9_cdf_summary(benchmark):
+    """The full Figure 9 sweep with CDF statistics."""
+    results = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+
+    banner("Figure 9 — decision time vs interfaces (1,000 packets each)")
+    rows = [
+        [
+            r.num_interfaces,
+            f"{r.cdf().median():.2f}",
+            f"{r.cdf().quantile(0.9):.2f}",
+            f"{r.p99_us():.2f}",
+            f"{r.mean_flows_examined():.2f}",
+        ]
+        for r in results.values()
+    ]
+    emit(
+        render_table(
+            ["interfaces", "p50 (µs)", "p90 (µs)", "p99 (µs)", "flows examined"],
+            rows,
+        )
+    )
+    emit("(paper: < 2.5 µs at 16 interfaces in kernel C; Python is ~10× slower)")
+    emit("")
+    emit("decision-time CDF at 16 interfaces (µs):")
+    emit(results[16].cdf().ascii_plot(width=46, height=8))
+
+    # Shape claim 1: more interfaces → more flags → more flows examined.
+    assert (
+        results[16].mean_flows_examined() > results[4].mean_flows_examined()
+    )
+
+
+def test_fig9_flow_count_independence(benchmark):
+    """Shape claim 2: decision work independent of the flow count."""
+    sweep = benchmark.pedantic(
+        fig9.flow_count_sweep,
+        kwargs={"flow_counts": (16, 64, 256), "num_interfaces": 8},
+        rounds=1,
+        iterations=1,
+    )
+    banner("Figure 9 — flow-count independence (8 interfaces)")
+    rows = [
+        [r.num_flows, f"{r.median_us():.2f}", f"{r.mean_flows_examined():.2f}"]
+        for r in sweep.values()
+    ]
+    emit(render_table(["flows", "p50 (µs)", "flows examined"], rows))
+
+    examined = [r.mean_flows_examined() for r in sweep.values()]
+    assert max(examined) < 2.5 * max(min(examined), 1.0)

@@ -1,0 +1,74 @@
+"""E7 — Figure 10: HTTP proxy goodput over fluctuating interfaces.
+
+Three equal-weight HTTP flows over two time-varying links; flow b
+(willing to use both) must always track the *faster* flow while a and c
+pin to their own interfaces. Content integrity of every spliced
+download is verified.
+
+Run: pytest benchmarks/bench_fig10_http_goodput.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fig10
+
+
+def test_fig10_goodput_tracks_capacity(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+
+    banner("Figure 10 — per-phase goodput (Mb/s)")
+    rows = []
+    for phase in fig10.CAPACITY_PHASES:
+        start, end, rate1, rate2 = phase
+        expected = fig10.expected_rates(phase)
+        for flow_id in ("a", "b", "c"):
+            measured = result.goodput(flow_id, start + 2, end - 0.5)
+            rows.append(
+                [
+                    f"{start:.0f}–{end:.0f}",
+                    f"{rate1:g}/{rate2:g}",
+                    flow_id,
+                    f"{measured / 1e6:.2f}",
+                    f"{expected[flow_id] / 1e6:.2f}",
+                ]
+            )
+    emit(render_table(["window (s)", "if1/if2", "flow", "measured", "fluid"], rows))
+    emit(f"content integrity failures: {result.integrity_failures()}")
+
+    assert result.integrity_failures() == 0
+    for phase in fig10.CAPACITY_PHASES:
+        start, end, _, _ = phase
+        expected = fig10.expected_rates(phase)
+        measured_b = result.goodput("b", start + 2, end - 0.5)
+        # The headline: b matches the faster flow in every phase.
+        assert measured_b == pytest.approx(expected["b"], rel=0.20)
+
+
+def test_fig10_timeseries(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+
+    banner("Figure 10 — goodput time series (2 s bins, Mb/s)")
+    series = {
+        flow_id: dict(result.timeseries(flow_id, bin_width=2.0))
+        for flow_id in ("a", "b", "c")
+    }
+    times = sorted(series["a"])
+    rows = [
+        [
+            f"{t:.0f}",
+            f"{series['a'][t] / 1e6:.2f}",
+            f"{series['b'][t] / 1e6:.2f}",
+            f"{series['c'][t] / 1e6:.2f}",
+        ]
+        for t in times
+    ]
+    emit(render_table(["t", "a", "b", "c"], rows))
+
+    # Crossover shape: b ≈ a when if1 is fast, b ≈ c when if2 is fast.
+    mid_phase1 = result.goodput("b", 4, 9) / max(result.goodput("a", 4, 9), 1.0)
+    mid_phase2 = result.goodput("b", 13, 17) / max(result.goodput("c", 13, 17), 1.0)
+    assert mid_phase1 == pytest.approx(1.0, rel=0.25)
+    assert mid_phase2 == pytest.approx(1.0, rel=0.25)

@@ -1,0 +1,78 @@
+"""E8 — Figure 11: clusters formed by the HTTP proxy run.
+
+The paper's Figure 11 shows two alternating clusterings during the
+Figure 10 experiment: flow b joins {a, if1} while interface 1 is the
+faster link, and {c, if2} while interface 2 is. This bench extracts the
+measured clusters in each capacity phase and asserts the flips.
+
+Run: pytest benchmarks/bench_fig11_http_clusters.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.experiments import fig10
+
+#: Interior measurement windows per phase (trim the capacity-flip
+#: transients; in-flight pipelined chunks from the previous phase land
+#: ~1 s into the next one).
+PHASE_WINDOWS = [
+    (3.0, 10.0, "if1 faster"),
+    (12.0, 18.0, "if2 faster"),
+    (21.0, 28.0, "if1 faster"),
+    (31.0, 39.0, "if2 faster"),
+]
+
+
+def test_fig11_cluster_flips(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+
+    banner("Figure 11 — measured clusters per phase")
+    rows = []
+    clusters_by_window = {}
+    for start, end, label in PHASE_WINDOWS:
+        clusters = result.clusters(start, end)
+        clusters_by_window[(start, end)] = clusters
+        for cluster in clusters:
+            rows.append(
+                [
+                    f"{start:.0f}–{end:.0f}",
+                    label,
+                    "{" + ",".join(sorted(cluster.flows)) + "}",
+                    "{" + ",".join(sorted(cluster.interfaces)) + "}",
+                    f"{cluster.normalized_rate / 1e6:.2f}",
+                ]
+            )
+    emit(
+        render_table(
+            ["window (s)", "phase", "flows", "interfaces", "Mb/s"], rows
+        )
+    )
+
+    # The paper's two alternating clusterings: b joins the faster
+    # interface's flow and is separate from the slower one.
+    for start, end, label in PHASE_WINDOWS:
+        clusters = clusters_by_window[(start, end)]
+        cluster_of_b = next(c for c in clusters if "b" in c.flows)
+        if label == "if1 faster":
+            assert "a" in cluster_of_b.flows, f"{label}: b should join a"
+            assert "c" not in cluster_of_b.flows, f"{label}: b apart from c"
+            assert "if1" in cluster_of_b.interfaces
+        else:
+            assert "c" in cluster_of_b.flows, f"{label}: b should join c"
+            assert "a" not in cluster_of_b.flows, f"{label}: b apart from a"
+            assert "if2" in cluster_of_b.interfaces
+
+
+def test_fig11_cluster_rates_match_fluid(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    for (start, end, label), phase in zip(PHASE_WINDOWS, fig10.CAPACITY_PHASES):
+        expected = fig10.expected_rates(phase)
+        clusters = result.clusters(start, end)
+        cluster_of_b = next(c for c in clusters if "b" in c.flows)
+        # b's cluster level equals b's fluid rate (all weights are 1).
+        assert cluster_of_b.normalized_rate == pytest.approx(
+            expected["b"], rel=0.25
+        ), label

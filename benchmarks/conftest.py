@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures: it runs the
+experiment under ``pytest-benchmark`` (so `pytest benchmarks/
+--benchmark-only` both times the run and prints the figure's
+rows/series) and asserts the paper's qualitative shape — who wins, by
+roughly what factor, where crossovers fall.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def banner(title: str) -> None:
+    """Print a section banner that survives pytest's capture with -s."""
+    line = "=" * max(10, len(title))
+    # pytest-benchmark prints its own tables at the end; figure output
+    # goes to stdout where `-s` or `--capture=no` exposes it.
+    print(f"\n{line}\n{title}\n{line}", file=sys.stderr)
+
+
+def emit(text: str) -> None:
+    """Emit figure output (stderr so it shows without -s)."""
+    print(text, file=sys.stderr)

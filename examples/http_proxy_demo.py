@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Inbound scheduling with the HTTP/1.1 byte-range proxy (Figure 5).
+
+Three apps download over two fluctuating wireless links through the
+on-device proxy. The proxy splits each GET into 64 KiB ranged requests,
+pipelines them, and lets miDRR pick which flow's next chunk each
+interface requests — thereby scheduling the *inbound* bytes. Responses
+are spliced and verified against the origin's content.
+
+Watch flow ``video`` (willing to use both links) track whichever link
+is currently faster, exactly the paper's Figure 10 behaviour.
+
+Run:  python examples/http_proxy_demo.py
+"""
+
+from repro.httpproxy import (
+    DownlinkChannel,
+    HttpOriginServer,
+    RepeatingDownloader,
+    SchedulingHttpProxy,
+)
+from repro.net.interface import CapacityStep
+from repro.schedulers import MiDrrScheduler
+from repro.sim import Simulator
+from repro.units import mbps
+
+CHUNK = 64 * 1024
+
+
+def main() -> None:
+    sim = Simulator()
+    server = HttpOriginServer()
+    server.put_synthetic("/movie", 3 * 1024 * 1024)
+    server.put_synthetic("/photos", 1 * 1024 * 1024)
+    server.put_synthetic("/podcast", 2 * 1024 * 1024)
+
+    proxy = SchedulingHttpProxy(
+        sim, scheduler=MiDrrScheduler(quantum_base=CHUNK), chunk_bytes=CHUNK
+    )
+
+    wifi = DownlinkChannel(sim, "wifi", server, mbps(10), rtt=0.03)
+    lte = DownlinkChannel(sim, "lte", server, mbps(4), rtt=0.06)
+    # WiFi fades mid-run (microwave oven); LTE picks up the slack.
+    wifi.apply_capacity_schedule([CapacityStep(15, mbps(2)), CapacityStep(30, mbps(10))])
+    proxy.add_channel(wifi)
+    proxy.add_channel(lte)
+
+    proxy.add_flow("video", weight=2.0)                      # any interface, 2× priority
+    proxy.add_flow("photos", weight=1.0, interfaces=["wifi"])  # unmetered only
+    proxy.add_flow("podcast", weight=1.0, interfaces=["lte"])  # on the move
+
+    downloads = {
+        "video": RepeatingDownloader(sim, proxy, server, "video", "/movie"),
+        "photos": RepeatingDownloader(sim, proxy, server, "photos", "/photos"),
+        "podcast": RepeatingDownloader(sim, proxy, server, "podcast", "/podcast"),
+    }
+    for downloader in downloads.values():
+        downloader.start()
+
+    sim.run(until=45.0)
+
+    print(f"{'flow':<10} {'0-15 s':>10} {'15-30 s':>10} {'30-45 s':>10}")
+    for flow_id in downloads:
+        rates = [
+            proxy.stats.rate_in_window(flow_id, start, end) / 1e6
+            for start, end in ((1, 15), (16, 30), (31, 45))
+        ]
+        cells = "".join(f"{rate:>9.2f}M" for rate in rates)
+        print(f"{flow_id:<10}{cells}")
+
+    print()
+    total_downloads = sum(d.downloads_completed for d in downloads.values())
+    failures = sum(d.integrity_failures for d in downloads.values())
+    print(f"completed downloads: {total_downloads}, content integrity failures: {failures}")
+    served = server.requests_served
+    print(f"origin served {served} ranged requests "
+          f"({proxy.stats.bytes_sent('video') // CHUNK} chunks for video alone)")
+
+
+if __name__ == "__main__":
+    main()

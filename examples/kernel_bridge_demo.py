@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The virtual-interface bridge on real packet bytes (Figure 3).
+
+Applications think they have one interface (10.0.0.1). The bridge
+classifies each raw IPv4/UDP packet into a policy flow, miDRR picks the
+physical interface, and the bridge NAT-rewrites the source address and
+port to that interface's identity — recomputing IPv4 and UDP checksums
+— before "transmission". Inbound replies are rewritten back.
+
+The demo prints one packet's bytes before and after rewriting so you
+can see the header surgery, then pushes a few thousand packets through
+two interfaces and reports where each flow's traffic actually went.
+
+Run:  python examples/kernel_bridge_demo.py
+"""
+
+from repro.bridge import FlowClassifier, MatchRule, MiDrrBridge
+from repro.net import (
+    Flow,
+    Interface,
+    Ipv4Address,
+    Ipv4Header,
+    UdpHeader,
+    IPPROTO_UDP,
+)
+from repro.schedulers import MiDrrScheduler
+from repro.sim import Simulator
+from repro.units import mbps
+
+VIRTUAL = Ipv4Address.parse("10.0.0.1")
+WIFI_ADDR = Ipv4Address.parse("192.168.1.23")
+LTE_ADDR = Ipv4Address.parse("100.64.7.9")
+SERVER = Ipv4Address.parse("93.184.216.34")
+
+
+def make_udp_packet(src_port: int, dst_port: int, payload: bytes) -> bytes:
+    """Build a raw IPv4/UDP packet from the application's view."""
+    udp = UdpHeader(
+        src_port=src_port,
+        dst_port=dst_port,
+        length=UdpHeader.LENGTH + len(payload),
+    )
+    total = Ipv4Header.LENGTH + UdpHeader.LENGTH + len(payload)
+    ip = Ipv4Header(
+        src=VIRTUAL, dst=SERVER, protocol=IPPROTO_UDP, total_length=total
+    )
+    return ip.pack() + udp.pack(ip.src, ip.dst, payload) + payload
+
+
+def main() -> None:
+    sim = Simulator()
+    classifier = FlowClassifier()
+    classifier.add_rule(MatchRule(flow_id="voip", dst_port=5060))
+    classifier.add_rule(MatchRule(flow_id="sync", dst_port=443))
+
+    bridge = MiDrrBridge(sim, MiDrrScheduler(), VIRTUAL, classifier=classifier)
+    wifi = Interface(sim, "wifi", mbps(10))
+    lte = Interface(sim, "lte", mbps(5))
+    bridge.add_physical_interface(wifi, WIFI_ADDR)
+    bridge.add_physical_interface(lte, LTE_ADDR)
+
+    # voip sticks to LTE for continuity; sync may use anything.
+    bridge.add_flow(Flow("voip", weight=1.0, allowed_interfaces=["lte"]))
+    bridge.add_flow(Flow("sync", weight=1.0))
+
+    # Show one packet's rewriting in detail.
+    sample = make_udp_packet(40000, 5060, b"RTP" * 40)
+    print("outbound packet before rewrite:")
+    print(f"  src={Ipv4Header.unpack(sample).src} "
+          f"sport={UdpHeader.unpack(sample[Ipv4Header.LENGTH:]).src_port}")
+    bridge.virtual.send(sample)
+    sim.run(until=0.01)
+    # The transmitted copy lives in the stats trail; rebuild it to show:
+    from repro.bridge.nat import rewrite_outbound
+    binding = bridge.nat.bind(
+        __import__("repro.bridge.classifier", fromlist=["parse_five_tuple"])
+        .parse_five_tuple(sample)[0],
+        "lte",
+        LTE_ADDR,
+    )
+    rewritten = rewrite_outbound(sample, binding)
+    print("after rewrite (as sent on lte):")
+    print(f"  src={Ipv4Header.unpack(rewritten).src} "
+          f"sport={UdpHeader.unpack(rewritten[Ipv4Header.LENGTH:]).src_port}")
+    print()
+
+    # Now push sustained traffic through both flows.
+    def feed(count: int) -> None:
+        for i in range(count):
+            bridge.virtual.send(make_udp_packet(40000, 5060, b"v" * 900))
+            bridge.virtual.send(make_udp_packet(41000, 443, b"s" * 1300))
+
+    sim.call_now(feed, 2000)
+    sim.run(until=5.0)
+
+    print("service matrix (bytes by flow × interface):")
+    for (flow_id, interface_id), size in sorted(bridge.stats.service_matrix().items()):
+        print(f"  {flow_id:<6} via {interface_id:<5} {size:>10,} B")
+    print()
+    print(f"packets accepted: {bridge.virtual.packets_accepted}, "
+          f"rejected: {bridge.virtual.packets_rejected}")
+    print(f"NAT rewrites: {bridge.outbound_rewrites} outbound, "
+          f"{len(bridge.nat)} active bindings")
+    print("note: voip bytes appear only on lte — its interface preference held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Beyond packets: scheduling threads onto a Tegra-style 4-plus-1 CPU.
+
+The paper's conclusion suggests its algorithm applies wherever pooled
+heterogeneous resources meet per-consumer preferences — e.g. NVIDIA's
+Tegra 3, where four fast cores are packaged with one slow companion
+core and "a computation intensive task like graphics rendering might
+prefer to use only the more powerful cores."
+
+Cores play the role of interfaces, threads of flows, core affinity of
+the preference matrix Π, and nice-levels of the weights φ. The very
+same miDRR scheduler object computes the allocation.
+
+Run:  python examples/tegra_cpu_scheduling.py
+"""
+
+from repro.apps import CpuScheduler, ThreadSpec, big_cores_of, tegra_cores
+
+
+def main() -> None:
+    cores = tegra_cores()  # big0..big3 @ 1300 units/s, companion @ 500
+    big_only = big_cores_of(cores)
+
+    threads = [
+        # The rendering pipeline refuses the slow core and gets a 2×
+        # share entitlement.
+        ThreadSpec("render", weight=2.0, affinity=big_only),
+        ThreadSpec("physics", weight=1.0, affinity=big_only),
+        # Audio mixing and background sync run anywhere.
+        ThreadSpec("audio", weight=1.0),
+        ThreadSpec("sync", weight=0.5),
+    ]
+
+    scheduler = CpuScheduler(cores, threads)
+
+    print("Exact max-min throughput (capacity planning, units/s):")
+    allocation = scheduler.fair_allocation()
+    for thread in threads:
+        cluster = allocation.cluster_of(thread.thread_id)
+        cores_used = ",".join(sorted(cluster.interfaces))
+        print(
+            f"  {thread.thread_id:<8} {allocation.rate(thread.thread_id):7.1f}"
+            f"   (cluster: {cores_used})"
+        )
+
+    print()
+    print("Simulated with miDRR (10 s, per-thread units/s):")
+    result = scheduler.run(10.0)
+    for thread in threads:
+        print(f"  {thread.thread_id:<8} {result.throughput[thread.thread_id]:7.1f}")
+
+    print()
+    print("Where the work actually ran (units by thread × core):")
+    for (thread_id, core_id), units in sorted(result.placement.items()):
+        print(f"  {thread_id:<8} on {core_id:<10} {units:>8,}")
+
+    print()
+    utilization = scheduler.core_utilization(result)
+    print("Core utilization:", {k: f"{v:.0%}" for k, v in utilization.items()})
+    print()
+    print("Note: render/physics never touch the companion core (their Π);")
+    print("audio and sync soak up the companion capacity instead, so no")
+    print("cycle is wasted — the same work-conservation property as packets.")
+
+
+if __name__ == "__main__":
+    main()

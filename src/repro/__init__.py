@@ -1,0 +1,98 @@
+"""repro — a reproduction of "Scheduling Packets over Multiple
+Interfaces while Respecting User Preferences" (Yap et al., CoNEXT 2013).
+
+The package implements the paper's miDRR scheduler together with every
+substrate its evaluation needs: a discrete-event network simulator,
+classic fair-queueing baselines, an exact weighted max-min reference
+solver with rate-cluster extraction, a virtual-interface bridge with
+real header rewriting, an HTTP/1.1 byte-range scheduling proxy, and a
+smartphone flow-concurrency workload model.
+
+Quickstart::
+
+    from repro import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+    from repro import MiDrrScheduler, run_scenario
+    from repro.units import mbps
+
+    scenario = Scenario(
+        interfaces=(
+            InterfaceSpec("if1", mbps(1)),
+            InterfaceSpec("if2", mbps(1)),
+        ),
+        flows=(
+            FlowSpec("a"),                       # willing to use any interface
+            FlowSpec("b", interfaces=("if2",)),  # pinned to if2
+        ),
+        duration=30.0,
+    )
+    result = run_scenario(scenario, MiDrrScheduler)
+    print(result.rates(5, 30))   # ~1 Mb/s each (the paper's Figure 1(c))
+"""
+
+from .core.device import MobileDevice
+from .core.runner import ExperimentResult, run_scenario
+from .core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+from .core.engine import SchedulingEngine
+from .fairness.conformance import run_conformance
+from .errors import (
+    ConfigurationError,
+    FairnessError,
+    HeaderError,
+    HttpError,
+    PreferenceError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from .fairness.waterfill import Allocation, weighted_maxmin
+from .net.flow import Flow
+from .net.interface import CapacityStep, Interface
+from .net.packet import Packet
+from .prefs.policy import AnyInterface, DevicePolicy, Except, Only, Prefer
+from .prefs.preferences import PreferenceSet
+from .schedulers.drr import DrrScheduler
+from .schedulers.midrr import MiDrrScheduler
+from .schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+from .schedulers.wfq import WfqScheduler
+from .sim.simulator import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AnyInterface",
+    "CapacityStep",
+    "ConfigurationError",
+    "DevicePolicy",
+    "DrrScheduler",
+    "Except",
+    "ExperimentResult",
+    "FairnessError",
+    "Flow",
+    "FlowSpec",
+    "HeaderError",
+    "HttpError",
+    "Interface",
+    "InterfaceSpec",
+    "MiDrrScheduler",
+    "MobileDevice",
+    "Only",
+    "Packet",
+    "PerInterfaceScheduler",
+    "Prefer",
+    "PreferenceError",
+    "PreferenceSet",
+    "ReproError",
+    "Scenario",
+    "SchedulingEngine",
+    "SchedulingError",
+    "SimulationError",
+    "Simulator",
+    "StaticSplitScheduler",
+    "TrafficSpec",
+    "WfqScheduler",
+    "run_conformance",
+    "run_scenario",
+    "weighted_maxmin",
+    "__version__",
+]

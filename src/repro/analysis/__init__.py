@@ -1,0 +1,35 @@
+"""Measurement post-processing: time series, CDFs, rate estimators and
+ASCII reports."""
+
+from .cdf import EmpiricalCdf
+from .rates import EwmaRateEstimator, WindowedRateEstimator
+from .report import (
+    render_comparison,
+    render_rate_table,
+    render_series,
+    render_table,
+)
+from .timeseries import (
+    Series,
+    bin_events,
+    crossings,
+    moving_average,
+    series_mean,
+    settle_time,
+)
+
+__all__ = [
+    "EmpiricalCdf",
+    "EwmaRateEstimator",
+    "Series",
+    "WindowedRateEstimator",
+    "bin_events",
+    "crossings",
+    "moving_average",
+    "render_comparison",
+    "render_rate_table",
+    "render_series",
+    "render_table",
+    "series_mean",
+    "settle_time",
+]

@@ -1,0 +1,84 @@
+"""Empirical CDF utilities (Figures 7 and 9 are CDF plots)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+class EmpiricalCdf:
+    """An empirical cumulative distribution over float samples."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        if not samples:
+            raise ConfigurationError("EmpiricalCdf needs at least one sample")
+        self._sorted = sorted(samples)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return self._sorted[-1]
+
+    def probability_at_most(self, value: float) -> float:
+        """P[X ≤ value]."""
+        lo, hi = 0, len(self._sorted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sorted[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample x with P[X ≤ x] ≥ q."""
+        if not 0 < q <= 1:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        index = min(len(self._sorted) - 1, max(0, int(q * len(self._sorted)) - 1))
+        # Walk forward to honor the ≥ q definition under ties.
+        while (
+            index + 1 < len(self._sorted)
+            and (index + 1) / len(self._sorted) < q - 1e-12
+        ):
+            index += 1
+        return self._sorted[index]
+
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def points(self, num_points: int = 100) -> List[Tuple[float, float]]:
+        """``(value, P[X ≤ value])`` pairs for plotting."""
+        if num_points <= 1:
+            raise ConfigurationError(f"num_points must be > 1, got {num_points}")
+        n = len(self._sorted)
+        result = []
+        for k in range(num_points):
+            index = min(n - 1, int(k * (n - 1) / (num_points - 1)))
+            result.append((self._sorted[index], (index + 1) / n))
+        return result
+
+    def ascii_plot(self, width: int = 50, height: int = 10) -> str:
+        """A terminal rendering of the CDF for bench output."""
+        span = self.max - self.min
+        rows = []
+        for row in range(height, 0, -1):
+            q = row / height
+            value = self.quantile(q)
+            position = (
+                int((value - self.min) / span * (width - 1)) if span > 0 else 0
+            )
+            line = " " * position + "*"
+            rows.append(f"{q:5.2f} |{line}")
+        axis = f"      +{'-' * width}"
+        labels = f"       {self.min:.3g}{' ' * max(1, width - 12)}{self.max:.3g}"
+        return "\n".join(rows + [axis, labels])

@@ -1,0 +1,81 @@
+"""Streaming rate estimators.
+
+Experiments mostly post-process :class:`~repro.net.sink.StatsCollector`
+samples, but live components (e.g. adaptive policies in the examples)
+need on-line estimates; these two estimators cover the usual cases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..errors import ConfigurationError
+
+
+class WindowedRateEstimator:
+    """Average rate over a sliding time window.
+
+    ``add(time, nbytes)`` records service; ``rate_bps(now)`` returns the
+    byte rate over the trailing window, in bits/second.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive, got {window}")
+        self.window = window
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._total_bytes = 0
+
+    def add(self, time: float, nbytes: int) -> None:
+        """Record *nbytes* of service at *time* (non-decreasing)."""
+        if self._events and time < self._events[-1][0]:
+            raise ConfigurationError("samples must arrive in time order")
+        self._events.append((time, nbytes))
+        self._total_bytes += nbytes
+        self._evict(time)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._events and self._events[0][0] <= cutoff:
+            _, nbytes = self._events.popleft()
+            self._total_bytes -= nbytes
+
+    def rate_bps(self, now: float) -> float:
+        """Rate over ``(now − window, now]``."""
+        self._evict(now)
+        return self._total_bytes * 8 / self.window
+
+
+class EwmaRateEstimator:
+    """Exponentially weighted moving-average rate.
+
+    Standard TCP-style estimator: each inter-sample gap contributes an
+    instantaneous rate that is folded in with gain ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._last_time: float = 0.0
+        self._rate_bps: float = 0.0
+        self._primed = False
+
+    def add(self, time: float, nbytes: int) -> None:
+        """Record *nbytes* delivered at *time*."""
+        if not self._primed:
+            self._last_time = time
+            self._primed = True
+            return
+        gap = time - self._last_time
+        if gap <= 0:
+            return
+        instantaneous = nbytes * 8 / gap
+        self._rate_bps += self.alpha * (instantaneous - self._rate_bps)
+        self._last_time = time
+
+    @property
+    def rate_bps(self) -> float:
+        """Current smoothed estimate."""
+        return self._rate_bps

@@ -1,0 +1,87 @@
+"""ASCII report rendering for benches and examples.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep that output aligned and readable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..units import format_rate
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(columns))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_rate_table(
+    rates_by_label: Mapping[str, Mapping[str, float]],
+    flow_order: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Rows = labels (e.g. schedulers), columns = flows, cells = rates."""
+    headers = ["", *flow_order]
+    rows = []
+    for label, rates in rates_by_label.items():
+        rows.append(
+            [label, *(format_rate(rates.get(flow, 0.0)) for flow in flow_order)]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    label: str = "",
+    width: int = 60,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a (time, value) series as a horizontal-bar strip chart."""
+    if not series:
+        return f"{label}: (empty series)"
+    peak = max(value for _, value in series)
+    lines = [f"{label} (peak {value_format.format(peak)})"] if label else []
+    for time, value in series:
+        bar = "#" * (int(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{time:8.2f}  {value_format.format(value):>10}  {bar}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    measured: Mapping[str, float],
+    reference: Mapping[str, float],
+    title: Optional[str] = None,
+) -> str:
+    """Measured-vs-reference rates with per-flow relative error."""
+    rows = []
+    for flow_id in reference:
+        expected = reference[flow_id]
+        actual = measured.get(flow_id, 0.0)
+        if expected > 0:
+            error = f"{abs(actual - expected) / expected * 100:.1f}%"
+        else:
+            error = "-" if abs(actual) < 1e-9 else "inf"
+        rows.append([flow_id, format_rate(actual), format_rate(expected), error])
+    return render_table(
+        ["flow", "measured", "reference", "rel err"], rows, title=title
+    )

@@ -1,0 +1,102 @@
+"""Time-series utilities for experiment post-processing."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: A series of ``(time, value)`` points.
+Series = List[Tuple[float, float]]
+
+
+def bin_events(
+    events: Sequence[Tuple[float, float]],
+    bin_width: float,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> Series:
+    """Sum event values into fixed-width bins.
+
+    ``events`` are ``(time, amount)`` pairs; the result maps each bin
+    center to the summed amount, covering ``[start, end)``.
+    """
+    if bin_width <= 0:
+        raise ConfigurationError(f"bin_width must be positive, got {bin_width}")
+    horizon = end if end is not None else max((t for t, _ in events), default=start)
+    if horizon <= start:
+        return []
+    num_bins = int((horizon - start) / bin_width + 1e-9)
+    if num_bins <= 0:
+        return []
+    totals = [0.0] * num_bins
+    for time, amount in events:
+        index = int((time - start) / bin_width)
+        if 0 <= index < num_bins:
+            totals[index] += amount
+    return [
+        (start + (i + 0.5) * bin_width, totals[i]) for i in range(num_bins)
+    ]
+
+
+def moving_average(series: Series, window: int) -> Series:
+    """Centered moving average over *window* points (odd windows)."""
+    if window <= 0 or window % 2 == 0:
+        raise ConfigurationError("window must be a positive odd integer")
+    if not series:
+        return []
+    half = window // 2
+    values = [v for _, v in series]
+    smoothed: Series = []
+    for i, (time, _) in enumerate(series):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        smoothed.append((time, sum(values[lo:hi]) / (hi - lo)))
+    return smoothed
+
+
+def series_mean(series: Series, start: float, end: float) -> float:
+    """Mean value of points whose timestamps fall in ``[start, end)``."""
+    chosen = [v for t, v in series if start <= t < end]
+    if not chosen:
+        raise ConfigurationError(f"no series points in [{start}, {end})")
+    return sum(chosen) / len(chosen)
+
+
+def crossings(series: Series, threshold: float) -> List[float]:
+    """Times where the series crosses *threshold* (linear interp)."""
+    result: List[float] = []
+    for (t0, v0), (t1, v1) in zip(series, series[1:]):
+        if (v0 - threshold) * (v1 - threshold) < 0:
+            fraction = (threshold - v0) / (v1 - v0)
+            result.append(t0 + fraction * (t1 - t0))
+    return result
+
+
+def settle_time(
+    series: Series,
+    target: float,
+    tolerance: float,
+    hold: int = 3,
+) -> Optional[float]:
+    """First time the series stays within ``target ± tolerance``.
+
+    Requires *hold* consecutive in-band points (avoids declaring
+    convergence on a single lucky bin). Returns ``None`` if the series
+    never settles — used to measure the Figure 6(c) transient.
+    """
+    if hold <= 0:
+        raise ConfigurationError(f"hold must be positive, got {hold}")
+    in_band = 0
+    run_start: Optional[float] = None
+    for time, value in series:
+        if abs(value - target) <= tolerance:
+            if in_band == 0:
+                run_start = time
+            in_band += 1
+            if in_band >= hold:
+                return run_start
+        else:
+            in_band = 0
+            run_start = None
+    return None

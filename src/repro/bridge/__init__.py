@@ -1,0 +1,18 @@
+"""Virtual-interface bridge: classifier, NAT rewriting and the bridge
+engine (the paper's Linux kernel bridge, Figure 3)."""
+
+from .bridge import MiDrrBridge, VirtualInterface
+from .classifier import FlowClassifier, MatchRule, parse_five_tuple
+from .nat import NatBinding, NatTable, rewrite_inbound, rewrite_outbound
+
+__all__ = [
+    "FlowClassifier",
+    "MatchRule",
+    "MiDrrBridge",
+    "NatBinding",
+    "NatTable",
+    "VirtualInterface",
+    "parse_five_tuple",
+    "rewrite_inbound",
+    "rewrite_outbound",
+]

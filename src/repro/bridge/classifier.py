@@ -1,0 +1,106 @@
+"""Flow classification for the virtual-interface bridge.
+
+The paper's kernel bridge must map each packet emitted by an
+application to a *flow* (the unit preferences apply to). The classifier
+parses real header bytes into a :class:`FiveTuple` and resolves it to a
+flow id through a rule table, mirroring how a mobile OS maps sockets or
+applications onto policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import HeaderError
+from ..net.addresses import Ipv4Address
+from ..net.headers import IPPROTO_TCP, IPPROTO_UDP, Ipv4Header, TcpHeader, UdpHeader
+from ..net.packet import FiveTuple
+
+
+def parse_five_tuple(ip_bytes: bytes) -> Tuple[FiveTuple, Ipv4Header]:
+    """Extract the five-tuple from a raw IPv4 packet.
+
+    Returns the tuple and the parsed IPv4 header. Raises
+    :class:`HeaderError` for non-TCP/UDP or malformed packets.
+    """
+    ip_header = Ipv4Header.unpack(ip_bytes)
+    payload = ip_bytes[Ipv4Header.LENGTH:]
+    if ip_header.protocol == IPPROTO_TCP:
+        transport = TcpHeader.unpack(payload)
+        ports = (transport.src_port, transport.dst_port)
+    elif ip_header.protocol == IPPROTO_UDP:
+        udp = UdpHeader.unpack(payload)
+        ports = (udp.src_port, udp.dst_port)
+    else:
+        raise HeaderError(
+            f"cannot classify protocol {ip_header.protocol} (need TCP or UDP)"
+        )
+    five_tuple = FiveTuple(
+        src=ip_header.src,
+        dst=ip_header.dst,
+        src_port=ports[0],
+        dst_port=ports[1],
+        protocol=ip_header.protocol,
+    )
+    return five_tuple, ip_header
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """A classification rule: optional field matches → flow id.
+
+    ``None`` fields are wildcards. Rules are evaluated in insertion
+    order; first match wins (like iptables).
+    """
+
+    flow_id: str
+    src: Optional[Ipv4Address] = None
+    dst: Optional[Ipv4Address] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    protocol: Optional[int] = None
+
+    def matches(self, five_tuple: FiveTuple) -> bool:
+        """Does *five_tuple* satisfy every non-wildcard field?"""
+        return (
+            (self.src is None or self.src == five_tuple.src)
+            and (self.dst is None or self.dst == five_tuple.dst)
+            and (self.src_port is None or self.src_port == five_tuple.src_port)
+            and (self.dst_port is None or self.dst_port == five_tuple.dst_port)
+            and (self.protocol is None or self.protocol == five_tuple.protocol)
+        )
+
+
+class FlowClassifier:
+    """Orders rules and memoizes exact five-tuple lookups."""
+
+    def __init__(self, default_flow_id: Optional[str] = None) -> None:
+        self._rules: List[MatchRule] = []
+        self._default = default_flow_id
+        self._cache: Dict[FiveTuple, Optional[str]] = {}
+
+    def add_rule(self, rule: MatchRule) -> None:
+        """Append a rule (first match wins)."""
+        self._rules.append(rule)
+        self._cache.clear()
+
+    def classify(self, five_tuple: FiveTuple) -> Optional[str]:
+        """Resolve a five-tuple to a flow id (or the default)."""
+        if five_tuple in self._cache:
+            return self._cache[five_tuple]
+        result = self._default
+        for rule in self._rules:
+            if rule.matches(five_tuple):
+                result = rule.flow_id
+                break
+        self._cache[five_tuple] = result
+        return result
+
+    def classify_packet(self, ip_bytes: bytes) -> Optional[str]:
+        """Classify raw IPv4 bytes end to end."""
+        five_tuple, _ = parse_five_tuple(ip_bytes)
+        return self.classify(five_tuple)
+
+    def __len__(self) -> int:
+        return len(self._rules)

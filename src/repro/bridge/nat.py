@@ -1,0 +1,179 @@
+"""Per-interface NAT / header rewriting.
+
+The paper's bridge presents applications with a *virtual* interface
+holding "an arbitrarily chosen address and then rewriting the packet
+headers appropriately before transmission" [20]. This module does that
+rewriting on real bytes: outbound packets get the chosen physical
+interface's source address (and a translated source port so return
+traffic can be demultiplexed); inbound packets are rewritten back to
+the virtual address before delivery to the application.
+
+TCP/UDP checksums are recomputed after rewriting, exactly as a kernel
+NAT must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import HeaderError
+from ..net.addresses import Ipv4Address
+from ..net.headers import IPPROTO_TCP, IPPROTO_UDP, Ipv4Header, TcpHeader, UdpHeader
+from ..net.packet import FiveTuple
+from .classifier import parse_five_tuple
+
+#: First port used for NAT translations.
+NAT_PORT_BASE = 20000
+
+#: Ports wrap after this many bindings.
+NAT_PORT_SPAN = 40000
+
+
+@dataclass(frozen=True)
+class NatBinding:
+    """One active translation."""
+
+    original: FiveTuple
+    translated: FiveTuple
+    interface_id: str
+
+
+class NatTable:
+    """Address/port translation state for one bridge."""
+
+    def __init__(self, virtual_address: Ipv4Address) -> None:
+        self.virtual_address = virtual_address
+        self._by_original: Dict[Tuple[str, FiveTuple], NatBinding] = {}
+        self._by_translated: Dict[FiveTuple, NatBinding] = {}
+        self._next_port = NAT_PORT_BASE
+
+    def _allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port >= NAT_PORT_BASE + NAT_PORT_SPAN:
+            self._next_port = NAT_PORT_BASE
+        return port
+
+    def bind(
+        self,
+        five_tuple: FiveTuple,
+        interface_id: str,
+        interface_address: Ipv4Address,
+    ) -> NatBinding:
+        """Get (or create) the binding for *five_tuple* on an interface.
+
+        Distinct interfaces get distinct bindings for the same original
+        tuple — the same application flow can be split across physical
+        paths and still demultiplex correctly on return.
+        """
+        key = (interface_id, five_tuple)
+        binding = self._by_original.get(key)
+        if binding is not None:
+            return binding
+        translated = FiveTuple(
+            src=interface_address,
+            dst=five_tuple.dst,
+            src_port=self._allocate_port(),
+            dst_port=five_tuple.dst_port,
+            protocol=five_tuple.protocol,
+        )
+        binding = NatBinding(
+            original=five_tuple, translated=translated, interface_id=interface_id
+        )
+        self._by_original[key] = binding
+        self._by_translated[translated] = binding
+        return binding
+
+    def lookup_return(self, reverse_tuple: FiveTuple) -> Optional[NatBinding]:
+        """Find the binding matching *inbound* traffic.
+
+        Inbound packets carry the reverse of the translated tuple
+        (dst = interface address/port).
+        """
+        return self._by_translated.get(reverse_tuple.reversed())
+
+    def __len__(self) -> int:
+        return len(self._by_translated)
+
+
+def rewrite_outbound(
+    ip_bytes: bytes,
+    binding: NatBinding,
+) -> bytes:
+    """Rewrite a raw outbound IPv4 packet per *binding*.
+
+    Replaces the source address/port with the translated ones and
+    recomputes the IPv4 and transport checksums.
+    """
+    five_tuple, ip_header = parse_five_tuple(ip_bytes)
+    if five_tuple != binding.original:
+        raise HeaderError(
+            f"packet tuple {five_tuple} does not match binding {binding.original}"
+        )
+    translated = binding.translated
+    new_ip = ip_header.with_addresses(src=translated.src)
+    payload = ip_bytes[Ipv4Header.LENGTH:]
+    if ip_header.protocol == IPPROTO_TCP:
+        tcp = TcpHeader.unpack(payload)
+        body = payload[TcpHeader.LENGTH:]
+        new_tcp = TcpHeader(
+            src_port=translated.src_port,
+            dst_port=tcp.dst_port,
+            seq=tcp.seq,
+            ack=tcp.ack,
+            flags=tcp.flags,
+            window=tcp.window,
+            urgent=tcp.urgent,
+        )
+        transport_bytes = new_tcp.pack(new_ip.src, new_ip.dst, body)
+    else:
+        udp = UdpHeader.unpack(payload)
+        body = payload[UdpHeader.LENGTH:]
+        new_udp = UdpHeader(
+            src_port=translated.src_port,
+            dst_port=udp.dst_port,
+            length=udp.length,
+        )
+        transport_bytes = new_udp.pack(new_ip.src, new_ip.dst, body)
+    return new_ip.pack() + transport_bytes + body
+
+
+def rewrite_inbound(
+    ip_bytes: bytes,
+    binding: NatBinding,
+    virtual_address: Ipv4Address,
+) -> bytes:
+    """Rewrite a raw inbound IPv4 packet back to the virtual address."""
+    five_tuple, ip_header = parse_five_tuple(ip_bytes)
+    expected = binding.translated.reversed()
+    if five_tuple != expected:
+        raise HeaderError(
+            f"inbound tuple {five_tuple} does not match binding reverse {expected}"
+        )
+    original = binding.original
+    new_ip = ip_header.with_addresses(dst=virtual_address)
+    payload = ip_bytes[Ipv4Header.LENGTH:]
+    if ip_header.protocol == IPPROTO_TCP:
+        tcp = TcpHeader.unpack(payload)
+        body = payload[TcpHeader.LENGTH:]
+        new_tcp = TcpHeader(
+            src_port=tcp.src_port,
+            dst_port=original.src_port,
+            seq=tcp.seq,
+            ack=tcp.ack,
+            flags=tcp.flags,
+            window=tcp.window,
+            urgent=tcp.urgent,
+        )
+        transport_bytes = new_tcp.pack(new_ip.src, new_ip.dst, body)
+    else:
+        udp = UdpHeader.unpack(payload)
+        body = payload[UdpHeader.LENGTH:]
+        new_udp = UdpHeader(
+            src_port=udp.src_port,
+            dst_port=original.src_port,
+            length=udp.length,
+        )
+        transport_bytes = new_udp.pack(new_ip.src, new_ip.dst, body)
+    return new_ip.pack() + transport_bytes + body

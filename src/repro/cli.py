@@ -1,0 +1,421 @@
+"""Command-line interface: regenerate any paper figure from a terminal.
+
+Usage::
+
+    midrr fig1            # Figure 1 motivating allocations
+    midrr fig6            # Figures 6 + 8 (rates and clusters)
+    midrr fig7            # Figure 7 concurrency CDF
+    midrr fig9            # Figure 9 scheduling overhead
+    midrr fig10           # Figures 10 + 11 (HTTP proxy)
+    midrr ideal           # E9: Figure 4 ideal proxy vs HTTP proxy
+    midrr fct             # E13: completion times under churn
+    midrr all             # every figure
+    midrr run scenario.json --scheduler wfq   # replay a stored scenario
+    midrr solve --interface if1=3e6 --interface if2=10e6 \\
+                --flow a:1:if1 --flow b:2:if1,if2 --flow c:1:if2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.report import render_comparison, render_rate_table, render_table
+from .core.runner import run_scenario
+from .core.scenario import Scenario
+from .errors import ReproError
+from .experiments import fct, fig1, fig6, fig7, fig9, fig10, inbound_ideal
+from .schedulers.midrr import MiDrrScheduler
+from .schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+from .fairness.waterfill import weighted_maxmin
+from .units import format_rate
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def cmd_fig1(args: argparse.Namespace) -> None:
+    """Figure 1: compare schedulers on the motivating scenarios."""
+    schedulers = {
+        "miDRR": MiDrrScheduler,
+        "per-interface WFQ": PerInterfaceScheduler.wfq,
+        "per-interface DRR": PerInterfaceScheduler.drr,
+        "FIFO striping": PerInterfaceScheduler.fifo,
+        "static split": StaticSplitScheduler,
+    }
+    for name, build in fig1.ALL_SCENARIOS.items():
+        scenario = build()
+        flow_order = [spec.flow_id for spec in scenario.flows]
+        rates = {
+            label: fig1.measured_rates(scenario, factory)
+            for label, factory in schedulers.items()
+        }
+        reference = fig1.fluid_reference(scenario)
+        rates["fluid max-min (reference)"] = {
+            flow_id: reference.rate(flow_id) for flow_id in flow_order
+        }
+        _print(render_rate_table(rates, flow_order, title=f"== {name} =="))
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    """Figures 6 and 8: dynamic fair scheduling and clusters."""
+    result = fig6.run()
+    rows = []
+    for phase, expected in fig6.PAPER_PHASE_RATES.items():
+        measured = fig6.phase_rates(result)[phase]
+        for flow_id, paper_value in expected.items():
+            rows.append(
+                [
+                    phase,
+                    flow_id,
+                    f"{measured[flow_id]:.2f} Mb/s",
+                    f"{paper_value:.2f} Mb/s",
+                ]
+            )
+    _print(
+        render_table(
+            ["phase", "flow", "measured", "paper"], rows, title="== Figure 6(b) =="
+        )
+    )
+    _print(
+        render_table(
+            ["flow", "completed (measured)", "completed (paper)"],
+            [
+                ["a", f"{result.completions.get('a', float('nan')):.1f} s", "66 s"],
+                ["b", f"{result.completions.get('b', float('nan')):.1f} s", "85 s"],
+            ],
+            title="== flow completion times ==",
+        )
+    )
+    cluster_rows = []
+    for phase, clusters in fig6.phase_clusters(result).items():
+        for cluster in clusters:
+            cluster_rows.append(
+                [
+                    phase,
+                    ",".join(sorted(cluster.flows)),
+                    ",".join(sorted(cluster.interfaces)),
+                    f"{cluster.normalized_rate / 1e6:.2f} Mb/s/weight",
+                ]
+            )
+    _print(
+        render_table(
+            ["phase", "flows", "interfaces", "level"],
+            cluster_rows,
+            title="== Figure 8 clusters ==",
+        )
+    )
+    if args.zoom:
+        series = result.timeseries("a", bin_width=0.5)[:10]
+        rows = [[f"{t:.2f}", f"{v / 1e6:.2f} Mb/s"] for t, v in series]
+        _print(
+            render_table(
+                ["time", "flow a rate"],
+                rows,
+                title="== Figure 6(c): first 5 s transient ==",
+            )
+        )
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    """Figure 7: concurrency CDF."""
+    result = fig7.run(seed=args.seed)
+    rows = [[n, f"{p:.3f}"] for n, p in result.cdf() if n <= 16]
+    _print(render_table(["concurrent flows N", "P[≤N | active]"], rows,
+                        title="== Figure 7 CDF (truncated at 16) =="))
+    _print(
+        render_table(
+            ["statistic", "measured", "paper"],
+            [
+                ["P[N ≥ 7 | active]", f"{result.fraction_7_or_more:.3f}", "0.10"],
+                ["max concurrent", str(result.max_concurrent), "35"],
+                ["flows generated", str(result.num_flows), "-"],
+            ],
+            title="== summary ==",
+        )
+    )
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    """Figure 9: scheduling decision overhead."""
+    results = fig9.run()
+    rows = [
+        [
+            r.num_interfaces,
+            f"{r.median_us():.2f} µs",
+            f"{r.p99_us():.2f} µs",
+            f"{r.mean_flows_examined():.2f}",
+        ]
+        for r in results.values()
+    ]
+    _print(
+        render_table(
+            ["interfaces", "median decision", "p99 decision", "mean flows examined"],
+            rows,
+            title="== Figure 9 (Python-scale; paper: <2.5 µs in kernel C) ==",
+        )
+    )
+    flow_sweep = fig9.flow_count_sweep()
+    rows = [
+        [r.num_flows, f"{r.median_us():.2f} µs"] for r in flow_sweep.values()
+    ]
+    _print(
+        render_table(
+            ["flows", "median decision"],
+            rows,
+            title="== independence from flow count (8 interfaces) ==",
+        )
+    )
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    """Figures 10 and 11: HTTP proxy goodput and clusters."""
+    result = fig10.run(seed=args.seed)
+    rows = []
+    for phase in fig10.CAPACITY_PHASES:
+        start, end, rate1, rate2 = phase
+        expected = fig10.expected_rates(phase)
+        for flow_id in ("a", "b", "c"):
+            measured = result.goodput(flow_id, start + 2, end - 0.5)
+            rows.append(
+                [
+                    f"{start:.0f}–{end:.0f} s",
+                    f"{rate1:g}/{rate2:g}",
+                    flow_id,
+                    format_rate(measured),
+                    format_rate(expected[flow_id]),
+                ]
+            )
+    _print(
+        render_table(
+            ["phase", "if1/if2 Mb/s", "flow", "goodput", "fluid reference"],
+            rows,
+            title="== Figure 10 ==",
+        )
+    )
+    cluster_rows = []
+    for phase in fig10.CAPACITY_PHASES:
+        start, end, _, _ = phase
+        for cluster in result.clusters(start + 2, end - 0.5):
+            cluster_rows.append(
+                [
+                    f"{start:.0f}–{end:.0f} s",
+                    ",".join(sorted(cluster.flows)),
+                    ",".join(sorted(cluster.interfaces)),
+                    format_rate(cluster.normalized_rate),
+                ]
+            )
+    _print(
+        render_table(
+            ["window", "flows", "interfaces", "level"],
+            cluster_rows,
+            title="== Figure 11 clusters ==",
+        )
+    )
+    print(f"content integrity failures: {result.integrity_failures()}")
+
+
+def cmd_ideal(args: argparse.Namespace) -> None:
+    """E9 extension: ideal in-network proxy vs the HTTP proxy."""
+    result = inbound_ideal.run(seed=args.seed)
+    rows = []
+    for window in result.fluid:
+        for flow_id in ("a", "b", "c"):
+            rows.append(
+                [
+                    f"{window[0]:.0f}–{window[1]:.0f} s",
+                    flow_id,
+                    format_rate(result.fluid[window][flow_id]),
+                    format_rate(result.ideal[window][flow_id]),
+                    format_rate(result.http[window][flow_id]),
+                ]
+            )
+    _print(
+        render_table(
+            ["window", "flow", "fluid", "ideal proxy", "HTTP proxy"],
+            rows,
+            title="== E9: Figure 4 ideal vs Figure 5 HTTP ==",
+        )
+    )
+    print(
+        f"worst deviation from fluid: ideal "
+        f"{result.worst_deviation('ideal'):.1%}, HTTP "
+        f"{result.worst_deviation('http'):.1%}"
+    )
+
+
+def cmd_fct(args: argparse.Namespace) -> None:
+    """E13 extension: flow completion times under smartphone churn."""
+    results = fct.run(seed=args.seed, with_elephant=not args.light)
+    rows = [
+        [
+            label,
+            f"{result.median():.2f} s",
+            f"{result.p90():.2f} s",
+            f"{result.completed}/{result.offered}",
+        ]
+        for label, result in results.items()
+    ]
+    regime = "light load" if args.light else "with background elephant"
+    _print(
+        render_table(
+            ["scheduler", "median FCT", "p90 FCT", "completed"],
+            rows,
+            title=f"== E13: flow completion times ({regime}) ==",
+        )
+    )
+
+
+SCHEDULER_CHOICES = {
+    "midrr": MiDrrScheduler,
+    "midrr-counter": lambda: MiDrrScheduler(exclusion="counter"),
+    "wfq": PerInterfaceScheduler.wfq,
+    "drr": PerInterfaceScheduler.drr,
+    "static": StaticSplitScheduler,
+}
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    """Run a scenario JSON document under a chosen scheduler."""
+    with open(args.scenario, "r", encoding="utf-8") as handle:
+        scenario = Scenario.from_dict(json.load(handle))
+    factory = SCHEDULER_CHOICES[args.scheduler]
+    result = run_scenario(scenario, factory)
+    start = args.warmup
+    end = scenario.duration
+    rates = result.rates(start, end)
+    reference = result.reference_allocation()
+    expected = {spec.flow_id: reference.rate(spec.flow_id) for spec in scenario.flows}
+    _print(
+        render_comparison(
+            rates,
+            expected,
+            title=(
+                f"== {scenario.name}: measured over ({start:g}, {end:g}] s "
+                f"under {args.scheduler} vs fluid max-min =="
+            ),
+        )
+    )
+    if result.completions:
+        rows = [
+            [flow_id, f"{when:.2f} s"]
+            for flow_id, when in sorted(result.completions.items())
+        ]
+        _print(render_table(["flow", "completed"], rows, title="== completions =="))
+
+
+def cmd_solve(args: argparse.Namespace) -> None:
+    """Solve a max-min instance given on the command line."""
+    capacities: Dict[str, float] = {}
+    for item in args.interface:
+        name, _, rate = item.partition("=")
+        if not rate:
+            raise SystemExit(f"--interface needs name=rate, got {item!r}")
+        capacities[name] = float(rate)
+    flows: Dict[str, tuple] = {}
+    for item in args.flow:
+        parts = item.split(":")
+        if len(parts) != 3:
+            raise SystemExit(f"--flow needs id:weight:ifaces, got {item!r}")
+        flow_id, weight, interfaces = parts
+        willing = None if interfaces == "*" else interfaces.split(",")
+        flows[flow_id] = (float(weight), willing)
+    allocation = weighted_maxmin(flows, capacities)
+    rows = [
+        [flow_id, format_rate(allocation.rate(flow_id))] for flow_id in flows
+    ]
+    _print(render_table(["flow", "max-min rate"], rows, title="== allocation =="))
+    cluster_rows = [
+        [
+            ",".join(sorted(c.flows)),
+            ",".join(sorted(c.interfaces)),
+            format_rate(float(c.level)),
+        ]
+        for c in allocation.clusters
+    ]
+    _print(render_table(["flows", "interfaces", "level/weight"], cluster_rows,
+                        title="== clusters =="))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="midrr",
+        description="Reproduce figures from the miDRR paper (CoNEXT 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="Figure 1 motivating allocations")
+    p.set_defaults(func=cmd_fig1)
+
+    p = sub.add_parser("fig6", help="Figures 6 + 8")
+    p.add_argument("--zoom", action="store_true", help="include the 6(c) transient")
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="Figure 7 concurrency CDF")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("fig9", help="Figure 9 overhead CDF")
+    p.set_defaults(func=cmd_fig9)
+
+    p = sub.add_parser("fig10", help="Figures 10 + 11 (HTTP proxy)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("ideal", help="E9: ideal proxy vs HTTP proxy")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_ideal)
+
+    p = sub.add_parser("fct", help="E13: completion times under churn")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--light", action="store_true", help="omit the elephant")
+    p.set_defaults(func=cmd_fct)
+
+    p = sub.add_parser("run", help="run a scenario JSON file")
+    p.add_argument("scenario", help="path to a Scenario.to_dict() JSON document")
+    p.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULER_CHOICES),
+        default="midrr",
+    )
+    p.add_argument("--warmup", type=float, default=2.0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("all", help="run every figure")
+    p.set_defaults(func=cmd_all)
+
+    p = sub.add_parser("solve", help="solve a max-min instance")
+    p.add_argument("--interface", action="append", default=[], metavar="NAME=RATE")
+    p.add_argument(
+        "--flow", action="append", default=[], metavar="ID:WEIGHT:IF1,IF2|*"
+    )
+    p.set_defaults(func=cmd_solve)
+    return parser
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    """Run every figure in sequence."""
+    namespace = argparse.Namespace(zoom=True, seed=0)
+    for command in (cmd_fig1, cmd_fig6, cmd_fig7, cmd_fig9, cmd_fig10):
+        command(namespace)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``midrr`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Core: the engine binding schedulers to interfaces, declarative
+scenarios, and the experiment runner."""
+
+from .device import MobileDevice
+from .engine import SchedulingEngine
+from .runner import ExperimentResult, build_traffic, run_scenario
+from .scenario import (
+    TRAFFIC_KINDS,
+    FlowSpec,
+    InterfaceSpec,
+    Scenario,
+    TrafficSpec,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "FlowSpec",
+    "MobileDevice",
+    "InterfaceSpec",
+    "Scenario",
+    "SchedulingEngine",
+    "TRAFFIC_KINDS",
+    "TrafficSpec",
+    "build_traffic",
+    "run_scenario",
+]

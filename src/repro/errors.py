@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already stopped, or re-entrant calls into :meth:`Simulator.run`.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A scenario, scheduler or substrate was configured inconsistently.
+
+    Examples: a flow with an empty interface-preference set, a negative
+    weight, or an interface with non-positive capacity.
+    """
+
+
+class PreferenceError(ConfigurationError):
+    """An interface/rate preference is malformed or violated."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler reached an inconsistent internal state."""
+
+
+class HeaderError(ReproError):
+    """A wire-format header could not be parsed or serialized."""
+
+
+class HttpError(ReproError):
+    """An HTTP/1.1 message or range transaction is malformed."""
+
+
+class FairnessError(ReproError):
+    """A fair-allocation solver failed or produced an invalid result."""

@@ -1,0 +1,133 @@
+"""Experiments E2/E3/E5 — the paper's Figures 6 and 8.
+
+Setup (Figure 6(a)): interface 1 at 3 Mb/s, interface 2 at 10 Mb/s.
+Flow *a* (weight 1) uses only interface 1; flow *b* (weight 2) may use
+both; flow *c* (weight 1) uses only interface 2.
+
+Paper results:
+
+* Phase 1 (0–66 s): a = 3, b = 6.67, c = 3.33 Mb/s; clusters
+  {a, if1}@3 and {b, c, if2}@3.33 per unit weight (Figure 8 left).
+* Flow a completes at 66 s → b jumps to 8.67 Mb/s (aggregating both
+  interfaces), c to 4.33 Mb/s; one merged cluster (Figure 8 middle).
+* Flow b completes at 85 s → c rises to 10 Mb/s (Figure 8 right).
+* Figure 6(c): the first ~5 s transient where flow a briefly receives
+  ≈2 Mb/s before miDRR converges.
+
+Flows a and b carry finite transfers sized so that — at the max-min
+rates — they complete at exactly the paper's 66 s and 85 s marks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.runner import ExperimentResult, run_scenario
+from ..core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+from ..schedulers.base import MultiInterfaceScheduler
+from ..schedulers.midrr import MiDrrScheduler
+from ..units import mbps
+
+DURATION = 100.0
+
+#: Paper phase boundaries (seconds).
+PHASE1_END = 66.0
+PHASE2_END = 85.0
+
+#: Paper phase rates in Mb/s per flow.
+PAPER_PHASE_RATES: Dict[str, Dict[str, float]] = {
+    "phase1": {"a": 3.0, "b": 6.67, "c": 3.33},
+    "phase2": {"b": 8.67, "c": 4.33},
+    "phase3": {"c": 10.0},
+}
+
+#: Paper clusters per phase: (flows, interfaces, level in Mb/s per
+#: unit weight).
+PAPER_CLUSTERS: Dict[str, List[Tuple[frozenset, frozenset, float]]] = {
+    "phase1": [
+        (frozenset({"a"}), frozenset({"if1"}), 3.0),
+        (frozenset({"b", "c"}), frozenset({"if2"}), 10.0 / 3.0),
+    ],
+    "phase2": [
+        (frozenset({"b", "c"}), frozenset({"if1", "if2"}), 13.0 / 3.0),
+    ],
+    "phase3": [
+        (frozenset({"c"}), frozenset({"if2"}), 10.0),
+    ],
+}
+
+
+def _transfer_bytes() -> Tuple[int, int]:
+    """Transfer sizes making a and b finish at 66 s and 85 s."""
+    a_bytes = int(mbps(3) * PHASE1_END / 8)
+    b_bytes = int(
+        (mbps(20.0 / 3.0) * PHASE1_END + mbps(26.0 / 3.0) * (PHASE2_END - PHASE1_END))
+        / 8
+    )
+    return a_bytes, b_bytes
+
+
+def scenario() -> Scenario:
+    """The Figure 6(a) scenario."""
+    a_bytes, b_bytes = _transfer_bytes()
+    return Scenario(
+        name="fig6",
+        interfaces=(
+            InterfaceSpec("if1", mbps(3)),
+            InterfaceSpec("if2", mbps(10)),
+        ),
+        flows=(
+            FlowSpec(
+                "a",
+                weight=1.0,
+                interfaces=("if1",),
+                traffic=TrafficSpec("bulk", total_bytes=a_bytes),
+            ),
+            FlowSpec(
+                "b",
+                weight=2.0,
+                traffic=TrafficSpec("bulk", total_bytes=b_bytes),
+            ),
+            FlowSpec("c", weight=1.0, interfaces=("if2",)),
+        ),
+        duration=DURATION,
+    )
+
+
+def run(
+    scheduler_factory: Callable[[], MultiInterfaceScheduler] = MiDrrScheduler,
+) -> ExperimentResult:
+    """Run the Figure 6 experiment (miDRR by default)."""
+    return run_scenario(scenario(), scheduler_factory)
+
+
+def phase_windows(result: ExperimentResult) -> Dict[str, Tuple[float, float]]:
+    """Measurement windows inside each phase, trimmed of transients."""
+    end1 = result.completions.get("a", PHASE1_END)
+    end2 = result.completions.get("b", PHASE2_END)
+    return {
+        "phase1": (2.0, end1 - 1.0),
+        "phase2": (end1 + 1.0, end2 - 1.0),
+        "phase3": (end2 + 1.0, DURATION - 1.0),
+    }
+
+
+def phase_rates(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """Measured per-phase rates in Mb/s (the Figure 6(b) levels)."""
+    windows = phase_windows(result)
+    rates: Dict[str, Dict[str, float]] = {}
+    for phase, (start, end) in windows.items():
+        expected_flows = PAPER_PHASE_RATES[phase]
+        rates[phase] = {
+            flow_id: result.rate(flow_id, start, end) / 1e6
+            for flow_id in expected_flows
+        }
+    return rates
+
+
+def phase_clusters(result: ExperimentResult) -> Dict[str, List]:
+    """Measured clusters per phase (the Figure 8 panels)."""
+    windows = phase_windows(result)
+    return {
+        phase: result.clusters(start, end) for phase, (start, end) in windows.items()
+    }

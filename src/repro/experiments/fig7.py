@@ -1,0 +1,48 @@
+"""Experiment E4 — Figure 7: CDF of concurrent flows on smartphones.
+
+The paper's statement: "10% of the time, we have 7 or more ongoing
+flows; the maximum number of concurrent flows hit a maximum of 35 in
+our log." Our generative substitute (see
+:mod:`repro.trace.smartphone`) is calibrated to those two statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..trace.concurrency import ConcurrencyStats, concurrency_stats
+from ..trace.smartphone import DeviceTraceConfig, SmartphoneTraceGenerator
+
+#: The paper's published statistics.
+PAPER_FRACTION_7_OR_MORE = 0.10
+PAPER_MAX_CONCURRENT = 35
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Aggregated concurrency results for one simulated device-week."""
+
+    stats: ConcurrencyStats
+    num_flows: int
+
+    @property
+    def fraction_7_or_more(self) -> float:
+        """P[N ≥ 7 | active] — compare against 0.10."""
+        return self.stats.fraction_at_least(7)
+
+    @property
+    def max_concurrent(self) -> int:
+        """Peak concurrency — compare against 35."""
+        return self.stats.max_concurrent
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """The Figure 7 curve."""
+        return self.stats.cdf()
+
+
+def run(seed: int = 0, config: DeviceTraceConfig = None) -> Fig7Result:
+    """Simulate one device-week and compute the concurrency CDF."""
+    generator = SmartphoneTraceGenerator(config=config, seed=seed)
+    intervals = generator.generate()
+    return Fig7Result(stats=concurrency_stats(intervals), num_flows=len(intervals))

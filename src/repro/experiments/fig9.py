@@ -1,0 +1,134 @@
+"""Experiment E6 — Figure 9: scheduling-decision overhead.
+
+The paper profiles its kernel bridge: 1,000 packets queued across all
+flows, 4–16 (virtual) interfaces, recording the time each scheduling
+decision takes. Findings: the decision time is independent of the
+number of flows, but grows with the number of interfaces because more
+service flags are set and must be skipped past; even at 16 interfaces
+a decision takes < 2.5 µs (in kernel C).
+
+We repeat the measurement on the Python miDRR implementation. Absolute
+numbers are Python-scale; the two *shape* claims — growth with
+interface count, independence from flow count — are reproduced and
+asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.cdf import EmpiricalCdf
+from ..errors import ConfigurationError
+from ..net.flow import Flow
+from ..net.packet import Packet
+from ..schedulers.midrr import MiDrrScheduler
+
+#: Paper parameters.
+PACKETS_PER_RUN = 1000
+INTERFACE_COUNTS = (4, 8, 12, 16)
+DEFAULT_FLOWS = 64
+
+
+@dataclass
+class OverheadResult:
+    """Per-decision latency samples for one configuration."""
+
+    num_interfaces: int
+    num_flows: int
+    decision_ns: List[int]
+    flows_examined: List[int]
+
+    def cdf(self) -> EmpiricalCdf:
+        """The Figure 9 curve (decision time CDF)."""
+        return EmpiricalCdf([ns / 1000.0 for ns in self.decision_ns])  # µs
+
+    def median_us(self) -> float:
+        """Median decision time in microseconds."""
+        return self.cdf().median()
+
+    def p99_us(self) -> float:
+        """99th percentile decision time in microseconds."""
+        return self.cdf().quantile(0.99)
+
+    def mean_flows_examined(self) -> float:
+        """Average flows considered per decision (the flag-skip cost)."""
+        if not self.flows_examined:
+            return 0.0
+        return sum(self.flows_examined) / len(self.flows_examined)
+
+
+def _build_scheduler(num_interfaces: int, num_flows: int) -> tuple:
+    """A standing miDRR instance with every flow on every interface."""
+    scheduler = MiDrrScheduler()
+    interface_ids = [f"if{j}" for j in range(num_interfaces)]
+    for interface_id in interface_ids:
+        scheduler.register_interface(interface_id)
+    flows = []
+    for i in range(num_flows):
+        flow = Flow(f"flow{i}")
+        # Pre-backlog so the decision loop never idles.
+        for _ in range(4):
+            flow.offer(Packet(flow_id=flow.flow_id, size_bytes=1500))
+        scheduler.add_flow(flow)
+        flows.append(flow)
+    return scheduler, interface_ids, flows
+
+
+def measure(
+    num_interfaces: int,
+    num_flows: int = DEFAULT_FLOWS,
+    packets: int = PACKETS_PER_RUN,
+) -> OverheadResult:
+    """Time *packets* scheduling decisions.
+
+    Decisions rotate across interfaces (as free interfaces would in the
+    bridge); each served flow is immediately re-backlogged so queues
+    stay "spread across all the flows" as in the paper's setup. Service
+    flags accumulate naturally from the algorithm's own bookkeeping.
+    """
+    if num_interfaces <= 0 or num_flows <= 0 or packets <= 0:
+        raise ConfigurationError("all measurement parameters must be positive")
+    scheduler, interface_ids, flows = _build_scheduler(num_interfaces, num_flows)
+    flows_by_id = {flow.flow_id: flow for flow in flows}
+    decision_ns: List[int] = []
+    warmup = min(200, packets // 4)
+    for index in range(packets + warmup):
+        interface_id = interface_ids[index % num_interfaces]
+        started = time.perf_counter_ns()
+        packet = scheduler.select(interface_id)
+        elapsed = time.perf_counter_ns() - started
+        if index >= warmup:
+            decision_ns.append(elapsed)
+        if packet is not None:
+            flow = flows_by_id[packet.flow_id]
+            flow.offer(Packet(flow_id=flow.flow_id, size_bytes=1500))
+            scheduler.notify_backlogged(flow)
+    examined = scheduler.decision_flows_examined[-packets:]
+    return OverheadResult(
+        num_interfaces=num_interfaces,
+        num_flows=num_flows,
+        decision_ns=decision_ns,
+        flows_examined=examined,
+    )
+
+
+def run(
+    interface_counts: Sequence[int] = INTERFACE_COUNTS,
+    num_flows: int = DEFAULT_FLOWS,
+) -> Dict[int, OverheadResult]:
+    """The full Figure 9 sweep."""
+    return {
+        count: measure(count, num_flows=num_flows) for count in interface_counts
+    }
+
+
+def flow_count_sweep(
+    flow_counts: Sequence[int] = (16, 64, 256),
+    num_interfaces: int = 8,
+) -> Dict[int, OverheadResult]:
+    """The paper's independence claim: vary flows at fixed interfaces."""
+    return {
+        count: measure(num_interfaces, num_flows=count) for count in flow_counts
+    }

@@ -1,0 +1,110 @@
+"""Extension experiment E9 — Figure 4's ideal in-network proxy.
+
+The paper sketches two ways to schedule *inbound* traffic:
+
+* **Ideal (Figure 4)** — a proxy inside the network, close to the
+  last-mile links, that aggregates every flow headed to the device and
+  runs miDRR at *packet* granularity over the paths to the different
+  interfaces. Deployable only with operator support.
+* **Practical (Figure 5)** — the on-device HTTP byte-range proxy,
+  scheduling at *request chunk* granularity (reproduced in
+  :mod:`repro.experiments.fig10`).
+
+The paper argues the HTTP proxy "comes close to ideal" but never
+quantifies it. This experiment does: both designs run over the same
+Figure 10 capacity trace, and we report per-phase rates plus each
+design's worst deviation from the exact fluid allocation.
+
+The ideal proxy is simply the packet engine placed in the downlink
+direction: interfaces model the last-mile links toward the device and
+the proxy's per-flow queues are always backlogged, so the existing
+:func:`repro.core.runner.run_scenario` machinery *is* the Figure 4
+device — another instance of the abstractions transferring unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.runner import ExperimentResult, run_scenario
+from ..core.scenario import FlowSpec, InterfaceSpec, Scenario
+from ..net.interface import CapacityStep
+from ..schedulers.midrr import MiDrrScheduler
+from ..units import mbps
+from . import fig10
+
+
+@dataclass
+class ComparisonResult:
+    """Per-phase rates for both designs plus fluid references."""
+
+    ideal: Dict[Tuple[float, float], Dict[str, float]]
+    http: Dict[Tuple[float, float], Dict[str, float]]
+    fluid: Dict[Tuple[float, float], Dict[str, float]]
+
+    def worst_deviation(self, design: str) -> float:
+        """Max relative error vs fluid across phases and flows."""
+        measured = self.ideal if design == "ideal" else self.http
+        worst = 0.0
+        for window, reference in self.fluid.items():
+            for flow_id, expected in reference.items():
+                if expected <= 0:
+                    continue
+                actual = measured[window].get(flow_id, 0.0)
+                worst = max(worst, abs(actual - expected) / expected)
+        return worst
+
+
+def ideal_scenario() -> Scenario:
+    """The Figure 10 setup as a packet-level downlink scenario."""
+    steps1 = tuple(
+        CapacityStep(start, mbps(rate1))
+        for start, _, rate1, _ in fig10.CAPACITY_PHASES[1:]
+    )
+    steps2 = tuple(
+        CapacityStep(start, mbps(rate2))
+        for start, _, _, rate2 in fig10.CAPACITY_PHASES[1:]
+    )
+    first = fig10.CAPACITY_PHASES[0]
+    return Scenario(
+        name="inbound-ideal",
+        interfaces=(
+            InterfaceSpec("if1", mbps(first[2]), capacity_steps=steps1),
+            InterfaceSpec("if2", mbps(first[3]), capacity_steps=steps2),
+        ),
+        flows=(
+            FlowSpec("a", interfaces=("if1",)),
+            FlowSpec("b"),
+            FlowSpec("c", interfaces=("if2",)),
+        ),
+        duration=fig10.DURATION,
+    )
+
+
+def _phase_windows() -> List[Tuple[float, float]]:
+    return [
+        (start + 2.0, end - 0.5) for start, end, _, _ in fig10.CAPACITY_PHASES
+    ]
+
+
+def run(seed: int = 0) -> ComparisonResult:
+    """Run both designs over the same trace and compare to fluid."""
+    ideal_result = run_scenario(ideal_scenario(), MiDrrScheduler)
+    http_result = fig10.run(seed=seed)
+
+    ideal: Dict[Tuple[float, float], Dict[str, float]] = {}
+    http: Dict[Tuple[float, float], Dict[str, float]] = {}
+    fluid: Dict[Tuple[float, float], Dict[str, float]] = {}
+    for phase, window in zip(fig10.CAPACITY_PHASES, _phase_windows()):
+        start, end = window
+        ideal[window] = {
+            flow_id: ideal_result.rate(flow_id, start, end)
+            for flow_id in ("a", "b", "c")
+        }
+        http[window] = {
+            flow_id: http_result.goodput(flow_id, start, end)
+            for flow_id in ("a", "b", "c")
+        }
+        fluid[window] = fig10.expected_rates(phase)
+    return ComparisonResult(ideal=ideal, http=http, fluid=fluid)

@@ -1,0 +1,77 @@
+"""Weighted max-min fairness with interface preferences.
+
+Two independent solvers (exact combinatorial water-filling and an LP),
+rate-cluster extraction/validation (Definition 2, Theorem 2), and the
+paper's directional fairness metric.
+"""
+
+from .conformance import (
+    ConformanceReport,
+    PropertyResult,
+    run_conformance,
+)
+from .fluid import (
+    FluidCapacityStep,
+    FluidFlow,
+    FluidResult,
+    FluidSimulator,
+    max_service_lag,
+)
+from .theory import (
+    fate_sharing_holds,
+    lemma_bounds,
+    theorem1_counterexample,
+)
+from .clusters import (
+    EmpiricalCluster,
+    check_maxmin_conditions,
+    check_rate_clustering,
+    extract_clusters,
+)
+from .lp import LpMaxMinSolver, lp_maxmin
+from .metrics import (
+    directional_fairness,
+    jain_index,
+    max_relative_error,
+    measured_rates,
+    relative_errors,
+    service_lag_bound,
+    throughput_utilization,
+)
+from .waterfill import (
+    Allocation,
+    Cluster,
+    allocation_from_prefs,
+    weighted_maxmin,
+)
+
+__all__ = [
+    "Allocation",
+    "Cluster",
+    "ConformanceReport",
+    "FluidCapacityStep",
+    "FluidFlow",
+    "FluidResult",
+    "FluidSimulator",
+    "PropertyResult",
+    "run_conformance",
+    "EmpiricalCluster",
+    "LpMaxMinSolver",
+    "allocation_from_prefs",
+    "check_maxmin_conditions",
+    "check_rate_clustering",
+    "directional_fairness",
+    "fate_sharing_holds",
+    "lemma_bounds",
+    "max_service_lag",
+    "theorem1_counterexample",
+    "extract_clusters",
+    "jain_index",
+    "lp_maxmin",
+    "max_relative_error",
+    "measured_rates",
+    "relative_errors",
+    "service_lag_bound",
+    "throughput_utilization",
+    "weighted_maxmin",
+]

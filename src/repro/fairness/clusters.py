@@ -1,0 +1,235 @@
+"""Rate clusters: extraction from measurements and validation.
+
+The paper's Definition 2 (*rate clustering property*) partitions flows
+and interfaces into clusters such that
+
+1. every flow/interface belongs to exactly one cluster,
+2. flows within a cluster are served at the same normalized rate, and
+3. each flow sits in the highest-rate cluster among those containing an
+   interface it is willing to use.
+
+:func:`extract_clusters` recovers clusters from an *empirical* service
+matrix ``r_ij`` (bytes served per flow per interface over a window) —
+this regenerates Figures 8 and 11. :func:`check_rate_clustering`
+validates the property, and :func:`check_maxmin_conditions` validates
+the two Theorem 2 conditions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import FairnessError
+from ..prefs.preferences import PreferenceSet
+
+#: Ignore flow/interface service below this fraction of the flow's total
+#: when deciding whether a service edge is "active". Filters stragglers
+#: from turn boundaries at phase edges.
+ACTIVE_EDGE_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class EmpiricalCluster:
+    """A measured cluster with its observed normalized rate."""
+
+    flows: FrozenSet[str]
+    interfaces: FrozenSet[str]
+    normalized_rate: float
+
+    def describe(self, weights: Mapping[str, float]) -> str:
+        """Human-readable summary, e.g. ``{a}×{if1} @ 3.00 Mb/s per unit``."""
+        flows = ",".join(sorted(self.flows))
+        ifaces = ",".join(sorted(self.interfaces))
+        return (
+            f"{{{flows}}} × {{{ifaces}}} @ {self.normalized_rate / 1e6:.2f} "
+            "Mb/s per unit weight"
+        )
+
+
+def extract_clusters(
+    service_bytes: Mapping[Tuple[str, str], float],
+    weights: Mapping[str, float],
+    window: float,
+    min_edge_fraction: float = ACTIVE_EDGE_FRACTION,
+) -> List[EmpiricalCluster]:
+    """Recover rate clusters from a measured ``r_ij`` matrix.
+
+    Parameters
+    ----------
+    service_bytes:
+        ``{(flow_id, interface_id): bytes served}`` over the window.
+    weights:
+        ``φ_i`` per flow (for normalized rates).
+    window:
+        Window length in seconds (converts bytes to bits/s).
+    min_edge_fraction:
+        Service edges carrying less than this fraction of the flow's
+        total are treated as noise and ignored.
+
+    Returns
+    -------
+    list of :class:`EmpiricalCluster`, sorted by ascending rate.
+    """
+    if window <= 0:
+        raise FairnessError(f"window must be positive, got {window}")
+    flow_totals: Dict[str, float] = {}
+    for (flow_id, _), amount in service_bytes.items():
+        flow_totals[flow_id] = flow_totals.get(flow_id, 0.0) + amount
+
+    edges: List[Tuple[str, str]] = []
+    for (flow_id, interface_id), amount in service_bytes.items():
+        total = flow_totals.get(flow_id, 0.0)
+        if total > 0 and amount >= min_edge_fraction * total:
+            edges.append((flow_id, interface_id))
+
+    # Union-find over the active service graph.
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for flow_id in flow_totals:
+        find(f"f:{flow_id}")
+    for flow_id, interface_id in edges:
+        union(f"f:{flow_id}", f"i:{interface_id}")
+
+    groups: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    for flow_id in flow_totals:
+        root = find(f"f:{flow_id}")
+        groups.setdefault(root, (set(), set()))[0].add(flow_id)
+    for flow_id, interface_id in edges:
+        root = find(f"i:{interface_id}")
+        groups.setdefault(root, (set(), set()))[1].add(interface_id)
+
+    clusters = []
+    for flows, ifaces in groups.values():
+        if not flows:
+            continue
+        normalized = [
+            flow_totals[flow_id] * 8 / window / weights[flow_id] for flow_id in flows
+        ]
+        clusters.append(
+            EmpiricalCluster(
+                flows=frozenset(flows),
+                interfaces=frozenset(ifaces),
+                normalized_rate=sum(normalized) / len(normalized),
+            )
+        )
+    clusters.sort(key=lambda c: c.normalized_rate)
+    return clusters
+
+
+def check_rate_clustering(
+    clusters: Sequence[EmpiricalCluster],
+    prefs: PreferenceSet,
+    rel_tolerance: float = 0.15,
+) -> List[str]:
+    """Validate Definition 2 against measured clusters.
+
+    Returns a list of human-readable violations (empty when the
+    property holds within tolerance).
+
+    The tolerance absorbs packet-granularity wobble: the paper's own
+    Figure 6(c) shows measured rates fluctuating around the fair share.
+    """
+    violations: List[str] = []
+
+    # Condition 1: disjointness.
+    seen_flows: Set[str] = set()
+    seen_ifaces: Set[str] = set()
+    for cluster in clusters:
+        overlap_f = seen_flows & cluster.flows
+        overlap_i = seen_ifaces & cluster.interfaces
+        if overlap_f:
+            violations.append(f"flows {sorted(overlap_f)} appear in two clusters")
+        if overlap_i:
+            violations.append(f"interfaces {sorted(overlap_i)} appear in two clusters")
+        seen_flows |= cluster.flows
+        seen_ifaces |= cluster.interfaces
+
+    # Condition 2 is satisfied by construction (cluster rate is the mean
+    # of member normalized rates); verify members agree with the mean.
+    # Condition 3: each flow's cluster has the max rate among clusters
+    # holding an interface it is willing to use.
+    for cluster in clusters:
+        for flow_id in cluster.flows:
+            for other in clusters:
+                if other is cluster:
+                    continue
+                reachable = any(
+                    prefs.willing(flow_id, interface_id)
+                    for interface_id in other.interfaces
+                )
+                if reachable and other.normalized_rate > cluster.normalized_rate * (
+                    1 + rel_tolerance
+                ):
+                    violations.append(
+                        f"flow {flow_id!r} sits in a cluster at "
+                        f"{cluster.normalized_rate:.3g} but could reach a cluster at "
+                        f"{other.normalized_rate:.3g}"
+                    )
+    return violations
+
+
+def check_maxmin_conditions(
+    service_bytes: Mapping[Tuple[str, str], float],
+    weights: Mapping[str, float],
+    prefs: PreferenceSet,
+    window: float,
+    rel_tolerance: float = 0.15,
+    min_edge_fraction: float = ACTIVE_EDGE_FRACTION,
+) -> List[str]:
+    """Validate the two Theorem 2 conditions on measured service.
+
+    1. Flows actively served by a common interface have equal
+       normalized rates.
+    2. A flow willing to use interface *k* but not actively using it
+       has normalized rate ≥ that of every flow active on *k*.
+    """
+    if window <= 0:
+        raise FairnessError(f"window must be positive, got {window}")
+    flow_totals: Dict[str, float] = {}
+    for (flow_id, _), amount in service_bytes.items():
+        flow_totals[flow_id] = flow_totals.get(flow_id, 0.0) + amount
+    normalized = {
+        flow_id: total * 8 / window / weights[flow_id]
+        for flow_id, total in flow_totals.items()
+    }
+
+    active_on: Dict[str, Set[str]] = {}
+    for (flow_id, interface_id), amount in service_bytes.items():
+        total = flow_totals.get(flow_id, 0.0)
+        if total > 0 and amount >= min_edge_fraction * total:
+            active_on.setdefault(interface_id, set()).add(flow_id)
+
+    violations: List[str] = []
+    for interface_id, active in active_on.items():
+        rates = sorted((normalized[i], i) for i in active)
+        low_rate, low_flow = rates[0]
+        high_rate, high_flow = rates[-1]
+        if low_rate > 0 and (high_rate - low_rate) / low_rate > rel_tolerance:
+            violations.append(
+                f"interface {interface_id!r}: active flows {low_flow!r} "
+                f"({low_rate:.3g}) and {high_flow!r} ({high_rate:.3g}) differ"
+            )
+        for flow_id in normalized:
+            if flow_id in active:
+                continue
+            if not prefs.willing(flow_id, interface_id):
+                continue
+            if normalized[flow_id] < low_rate * (1 - rel_tolerance):
+                violations.append(
+                    f"flow {flow_id!r} shuns interface {interface_id!r} at rate "
+                    f"{normalized[flow_id]:.3g} < active minimum {low_rate:.3g}"
+                )
+    return violations

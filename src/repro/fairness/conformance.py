@@ -1,0 +1,237 @@
+"""Scheduler conformance harness.
+
+Section 2 of the paper lists four properties an ideal multi-interface
+packet scheduler must provide. This module turns that list into an
+executable battery: hand it any
+:class:`~repro.schedulers.base.MultiInterfaceScheduler` factory and it
+runs a set of canonical scenarios, checking each property against the
+exact fluid reference:
+
+1. **Interface preferences** — no byte of a flow is ever carried by an
+   interface with ``π_ij = 0``.
+2. **Work conservation / Pareto efficiency** — every interface with a
+   willing backlogged flow runs at full utilization.
+3. **Rate preferences (max-min)** — measured rates converge to the
+   weighted max-min allocation.
+4. **Use new capacity** — after a capacity increase or a flow
+   departure, the allocation re-converges to the new max-min point.
+
+The harness is how the test suite grades miDRR against the baselines,
+and how a downstream scheduler author can grade a new design in one
+call (see ``examples/`` and ``tests/test_fairness_conformance.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..net.interface import CapacityStep
+from ..schedulers.base import MultiInterfaceScheduler
+from ..units import mbps
+from .metrics import max_relative_error
+from .waterfill import weighted_maxmin
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.scenario import Scenario
+
+
+def _core():
+    """Deferred import of the core runner.
+
+    ``repro.core`` imports ``repro.fairness`` (for the exact solver),
+    so conformance — which *drives* the runner — must import it lazily
+    to keep the package import graph acyclic.
+    """
+    from ..core.runner import run_scenario
+    from ..core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+
+    return run_scenario, FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+
+#: Factory type under test.
+SchedulerFactory = Callable[[], MultiInterfaceScheduler]
+
+#: Measured-vs-fluid tolerance for the rate property.
+RATE_TOLERANCE = 0.08
+
+#: Minimum utilization for the work-conservation property.
+UTILIZATION_FLOOR = 0.95
+
+
+@dataclass
+class PropertyResult:
+    """Outcome of one property check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ConformanceReport:
+    """All property outcomes for one scheduler."""
+
+    scheduler_label: str
+    results: List[PropertyResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Did every property hold?"""
+        return all(result.passed for result in self.results)
+
+    def failures(self) -> List[PropertyResult]:
+        """The properties that failed."""
+        return [result for result in self.results if not result.passed]
+
+    def summary(self) -> str:
+        """A one-line-per-property report."""
+        lines = [f"conformance: {self.scheduler_label}"]
+        for result in self.results:
+            status = "PASS" if result.passed else "FAIL"
+            lines.append(f"  [{status}] {result.name}: {result.detail}")
+        return "\n".join(lines)
+
+
+def _canonical_scenario() -> "Scenario":
+    """Mixed Π and φ over two unequal interfaces (Figure 6 shaped)."""
+    _, FlowSpec, InterfaceSpec, Scenario, TrafficSpec = _core()
+    return Scenario(
+        name="conformance-canonical",
+        interfaces=(InterfaceSpec("if1", mbps(3)), InterfaceSpec("if2", mbps(10))),
+        flows=(
+            FlowSpec("a", weight=1.0, interfaces=("if1",)),
+            FlowSpec("b", weight=2.0),
+            FlowSpec("c", weight=1.0, interfaces=("if2",)),
+        ),
+        duration=30.0,
+    )
+
+
+def _fluid(scenario: "Scenario") -> Dict[str, float]:
+    allocation = weighted_maxmin(
+        {spec.flow_id: (spec.weight, spec.interfaces) for spec in scenario.flows},
+        scenario.capacities(),
+    )
+    return {spec.flow_id: allocation.rate(spec.flow_id) for spec in scenario.flows}
+
+
+def check_interface_preferences(factory: SchedulerFactory) -> PropertyResult:
+    """Property 1: Π is never violated, even under churn."""
+    run_scenario = _core()[0]
+    scenario = _canonical_scenario()
+    result = run_scenario(scenario, factory)
+    violations = []
+    for spec in scenario.flows:
+        if spec.interfaces is None:
+            continue
+        for interface_id in scenario.interface_ids():
+            if interface_id in spec.interfaces:
+                continue
+            carried = result.stats.service_in_window(
+                spec.flow_id, 0.0, scenario.duration, interface_id=interface_id
+            )
+            if carried > 0:
+                violations.append(
+                    f"{spec.flow_id} carried {carried} B on {interface_id}"
+                )
+    if violations:
+        return PropertyResult("interface preferences", False, "; ".join(violations))
+    return PropertyResult("interface preferences", True, "no Π violations")
+
+
+def check_work_conservation(factory: SchedulerFactory) -> PropertyResult:
+    """Property 2: no capacity wasted while willing flows backlog."""
+    run_scenario = _core()[0]
+    scenario = _canonical_scenario()
+    result = run_scenario(scenario, factory)
+    low = []
+    for interface_id, capacity in scenario.capacities().items():
+        sent = result.stats.interface_bytes(interface_id) * 8
+        utilization = sent / (capacity * scenario.duration)
+        if utilization < UTILIZATION_FLOOR:
+            low.append(f"{interface_id} at {utilization:.1%}")
+    if low:
+        return PropertyResult("work conservation", False, "; ".join(low))
+    return PropertyResult(
+        "work conservation", True, f"all interfaces ≥ {UTILIZATION_FLOOR:.0%}"
+    )
+
+
+def check_rate_preferences(factory: SchedulerFactory) -> PropertyResult:
+    """Property 3: weighted max-min rates (where feasible)."""
+    run_scenario = _core()[0]
+    scenario = _canonical_scenario()
+    result = run_scenario(scenario, factory)
+    measured = result.rates(3.0, scenario.duration)
+    expected = _fluid(scenario)
+    error = max_relative_error(measured, expected)
+    detail = f"max relative error {error:.1%} (tolerance {RATE_TOLERANCE:.0%})"
+    return PropertyResult("rate preferences", error <= RATE_TOLERANCE, detail)
+
+
+def check_new_capacity(factory: SchedulerFactory) -> PropertyResult:
+    """Property 4: capacity growth and flow departure are absorbed."""
+    run_scenario, FlowSpec, InterfaceSpec, Scenario, TrafficSpec = _core()
+    scenario = Scenario(
+        name="conformance-churn",
+        interfaces=(
+            InterfaceSpec(
+                "if1", mbps(2), capacity_steps=(CapacityStep(20.0, mbps(6)),)
+            ),
+            InterfaceSpec("if2", mbps(2)),
+        ),
+        flows=(
+            FlowSpec(
+                "leaver",
+                traffic=TrafficSpec("bulk", total_bytes=int(mbps(2) * 10 / 8)),
+            ),
+            FlowSpec("stayer"),
+        ),
+        duration=30.0,
+    )
+    result = run_scenario(scenario, factory)
+    problems = []
+    # Phase 3 (after the step at t=20): stayer alone on 6+2 Mb/s.
+    final_rate = result.rate("stayer", 22.0, 30.0)
+    if abs(final_rate - mbps(8)) / mbps(8) > RATE_TOLERANCE:
+        problems.append(
+            f"after capacity step: stayer at {final_rate / 1e6:.2f} of 8 Mb/s"
+        )
+    # Between the leaver's departure (~10 s) and the step: 4 Mb/s.
+    departed_at = result.completions.get("leaver")
+    if departed_at is None:
+        problems.append("finite flow never completed")
+    else:
+        mid_rate = result.rate("stayer", departed_at + 1.0, 19.0)
+        if abs(mid_rate - mbps(4)) / mbps(4) > RATE_TOLERANCE:
+            problems.append(
+                f"after departure: stayer at {mid_rate / 1e6:.2f} of 4 Mb/s"
+            )
+    if problems:
+        return PropertyResult("use new capacity", False, "; ".join(problems))
+    return PropertyResult(
+        "use new capacity", True, "departure and capacity step both absorbed"
+    )
+
+
+#: The full battery, in the paper's priority order.
+ALL_CHECKS = (
+    check_interface_preferences,
+    check_work_conservation,
+    check_rate_preferences,
+    check_new_capacity,
+)
+
+
+def run_conformance(
+    factory: SchedulerFactory, label: Optional[str] = None
+) -> ConformanceReport:
+    """Run the full battery against a scheduler factory."""
+    if label is None:
+        label = getattr(factory, "__name__", str(factory))
+    report = ConformanceReport(scheduler_label=label)
+    for check in ALL_CHECKS:
+        report.results.append(check(factory))
+    return report

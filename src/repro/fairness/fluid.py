@@ -1,0 +1,231 @@
+"""Fluid (ideal bit-by-bit) max-min reference simulator.
+
+The paper evaluates miDRR by how far it "can deviate from an ideal
+bit-by-bit max-min fair scheduler" (§6.2). This module *is* that ideal
+scheduler: it serves flows as infinitely divisible fluid, re-solving
+the exact weighted max-min allocation (via
+:mod:`repro.fairness.waterfill`) at every event — flow arrival, flow
+completion, scheduled capacity change — and integrating service
+piecewise between events.
+
+Because everything is piecewise linear, the simulation is exact: it
+advances directly from event to event, finding completion times by
+division, with no time-stepping error. The result doubles as a
+time-domain reference for the packetized engine: compare
+:meth:`FluidResult.cumulative_service` against a
+:class:`~repro.net.sink.StatsCollector` to bound a real scheduler's
+service lag at *every instant*, not just in steady-state windows.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, FairnessError
+from .waterfill import weighted_maxmin
+
+#: Numerical slop for event coincidence, seconds.
+EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class FluidFlow:
+    """One fluid flow: weight, willing set, arrival, optional size."""
+
+    flow_id: str
+    weight: float = 1.0
+    interfaces: Optional[Tuple[str, ...]] = None
+    start_time: float = 0.0
+    total_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"flow {self.flow_id!r}: weight must be positive"
+            )
+        if self.total_bytes is not None and self.total_bytes <= 0:
+            raise ConfigurationError(
+                f"flow {self.flow_id!r}: total_bytes must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class FluidCapacityStep:
+    """A scheduled capacity change for one interface."""
+
+    time: float
+    interface_id: str
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError("capacity must stay positive")
+
+
+@dataclass
+class FluidSegment:
+    """A maximal interval with constant rates."""
+
+    start: float
+    end: float
+    rates: Dict[str, float]  # bits/s per active flow
+
+
+@dataclass
+class FluidResult:
+    """The full piecewise-linear service trajectory."""
+
+    segments: List[FluidSegment]
+    completions: Dict[str, float]
+
+    def rate_at(self, flow_id: str, time: float) -> float:
+        """Instantaneous rate of *flow_id* at *time* (bits/s)."""
+        for segment in self.segments:
+            if segment.start - EPSILON <= time < segment.end - EPSILON:
+                return segment.rates.get(flow_id, 0.0)
+        if self.segments and abs(time - self.segments[-1].end) <= EPSILON:
+            return self.segments[-1].rates.get(flow_id, 0.0)
+        return 0.0
+
+    def cumulative_service(self, flow_id: str, time: float) -> float:
+        """Bytes of ideal service delivered to *flow_id* by *time*."""
+        total_bits = 0.0
+        for segment in self.segments:
+            if segment.start >= time:
+                break
+            span = min(segment.end, time) - segment.start
+            if span > 0:
+                total_bits += segment.rates.get(flow_id, 0.0) * span
+        return total_bits / 8
+
+    def average_rate(self, flow_id: str, start: float, end: float) -> float:
+        """Mean rate over ``(start, end]`` in bits/s."""
+        if end <= start:
+            return 0.0
+        served = self.cumulative_service(flow_id, end) - self.cumulative_service(
+            flow_id, start
+        )
+        return served * 8 / (end - start)
+
+
+class FluidSimulator:
+    """Piecewise-exact ideal max-min service over time."""
+
+    def __init__(
+        self,
+        capacities: Mapping[str, float],
+        flows: Sequence[FluidFlow],
+        capacity_steps: Sequence[FluidCapacityStep] = (),
+    ) -> None:
+        if not capacities:
+            raise ConfigurationError("need at least one interface")
+        flow_ids = [flow.flow_id for flow in flows]
+        if len(set(flow_ids)) != len(flow_ids):
+            raise ConfigurationError("duplicate flow ids")
+        self._capacities = dict(capacities)
+        self._flows = list(flows)
+        self._steps = sorted(capacity_steps, key=lambda step: step.time)
+        for step in self._steps:
+            if step.interface_id not in self._capacities:
+                raise ConfigurationError(
+                    f"capacity step for unknown interface {step.interface_id!r}"
+                )
+
+    def run(self, duration: float) -> FluidResult:
+        """Integrate the ideal service from 0 to *duration*."""
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        capacities = dict(self._capacities)
+        remaining: Dict[str, Optional[float]] = {
+            flow.flow_id: (
+                flow.total_bytes * 8 if flow.total_bytes is not None else None
+            )
+            for flow in self._flows
+        }
+        by_id = {flow.flow_id: flow for flow in self._flows}
+        completions: Dict[str, float] = {}
+        segments: List[FluidSegment] = []
+        now = 0.0
+        pending_steps = list(self._steps)
+
+        while now < duration - EPSILON:
+            active = [
+                flow
+                for flow in self._flows
+                if flow.start_time <= now + EPSILON
+                and flow.flow_id not in completions
+            ]
+            rates: Dict[str, float] = {}
+            if active:
+                allocation = weighted_maxmin(
+                    {
+                        flow.flow_id: (flow.weight, flow.interfaces)
+                        for flow in active
+                    },
+                    capacities,
+                )
+                rates = {
+                    flow.flow_id: allocation.rate(flow.flow_id) for flow in active
+                }
+
+            # Next boundary: duration, a capacity step, a future flow
+            # arrival, or the earliest fluid completion at these rates.
+            boundary = duration
+            for step in pending_steps:
+                if step.time > now + EPSILON:
+                    boundary = min(boundary, step.time)
+                    break
+            for flow in self._flows:
+                if flow.start_time > now + EPSILON:
+                    boundary = min(boundary, flow.start_time)
+            for flow in active:
+                bits_left = remaining[flow.flow_id]
+                rate = rates.get(flow.flow_id, 0.0)
+                if bits_left is not None and rate > 0:
+                    boundary = min(boundary, now + bits_left / rate)
+
+            if boundary <= now + EPSILON:
+                boundary = now + EPSILON  # numerical floor; cannot stall
+
+            segments.append(FluidSegment(start=now, end=boundary, rates=rates))
+            span = boundary - now
+            for flow in active:
+                bits_left = remaining[flow.flow_id]
+                if bits_left is None:
+                    continue
+                bits_left -= rates.get(flow.flow_id, 0.0) * span
+                remaining[flow.flow_id] = bits_left
+                if bits_left <= EPSILON * max(1.0, rates.get(flow.flow_id, 1.0)):
+                    completions[flow.flow_id] = boundary
+            # Apply capacity steps landing exactly at the boundary.
+            while pending_steps and pending_steps[0].time <= boundary + EPSILON:
+                step = pending_steps.pop(0)
+                capacities[step.interface_id] = step.rate_bps
+            now = boundary
+
+        return FluidResult(segments=segments, completions=completions)
+
+
+def max_service_lag(
+    fluid: FluidResult,
+    measured_cumulative: Mapping[float, Mapping[str, float]],
+) -> Dict[str, float]:
+    """Worst |ideal − measured| cumulative service per flow, in bytes.
+
+    *measured_cumulative* maps sample times to per-flow cumulative byte
+    counts (build it from a :class:`StatsCollector`). This is the
+    system-level analogue of the paper's Lemma 5/6 bounds: a correct
+    packetized scheduler's lag stays within a few packets plus a
+    quantum at every instant.
+    """
+    worst: Dict[str, float] = {}
+    for time, by_flow in measured_cumulative.items():
+        for flow_id, measured in by_flow.items():
+            ideal = fluid.cumulative_service(flow_id, time)
+            gap = abs(ideal - measured)
+            if gap > worst.get(flow_id, 0.0):
+                worst[flow_id] = gap
+    return worst

@@ -1,0 +1,257 @@
+"""LP-based weighted max-min solver (the paper's "convex program").
+
+An independent implementation used to cross-check the exact
+combinatorial solver in :mod:`repro.fairness.waterfill`, and the only
+solver that scales past ~20 interfaces and supports per-flow demand
+caps (non-backlogged flows).
+
+Classic progressive filling, each stage solved with
+``scipy.optimize.linprog``:
+
+1. *Level LP*: maximize ``t`` subject to per-interface capacity, frozen
+   flows fixed at their rates, unfrozen flows at ``Σ_j r_ij ≥ φ_i t``
+   (and ``≤ demand_i`` when capped).
+2. *Blocking test*: for each unfrozen flow, maximize its rate with all
+   other unfrozen flows held at level ``t*``; flows that cannot exceed
+   ``φ_i t*`` (or that hit their demand) freeze.
+
+Variables are the per-pair rates ``r_ij`` over willing pairs only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import FairnessError
+
+#: Relative tolerance for freezing decisions and feasibility checks.
+TOLERANCE = 1e-7
+
+
+class LpMaxMinSolver:
+    """Weighted max-min fair rates via iterated linear programs."""
+
+    def __init__(
+        self,
+        flows: Mapping[str, Tuple[float, Optional[Iterable[str]]]],
+        capacities: Mapping[str, float],
+        demands: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self._interface_ids = list(capacities)
+        self._caps = np.array([capacities[j] for j in self._interface_ids], dtype=float)
+        if np.any(self._caps <= 0):
+            raise FairnessError("all interface capacities must be positive")
+        self._flow_ids: List[str] = []
+        self._weights: Dict[str, float] = {}
+        self._willing: Dict[str, FrozenSet[str]] = {}
+        for flow_id, (weight, interfaces) in flows.items():
+            if weight <= 0:
+                raise FairnessError(
+                    f"flow {flow_id!r} weight must be positive, got {weight}"
+                )
+            willing = (
+                frozenset(self._interface_ids)
+                if interfaces is None
+                else frozenset(interfaces) & set(self._interface_ids)
+            )
+            if not willing:
+                raise FairnessError(
+                    f"flow {flow_id!r} is not willing to use any known interface"
+                )
+            self._flow_ids.append(flow_id)
+            self._weights[flow_id] = float(weight)
+            self._willing[flow_id] = willing
+        self._demands = {k: float(v) for k, v in (demands or {}).items()}
+        # Variable layout: one r_ij per willing (flow, interface) pair.
+        self._pairs: List[Tuple[str, str]] = [
+            (i, j)
+            for i in self._flow_ids
+            for j in self._interface_ids
+            if j in self._willing[i]
+        ]
+        self._pair_index = {pair: k for k, pair in enumerate(self._pairs)}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self) -> Tuple[Dict[str, float], Dict[Tuple[str, str], float]]:
+        """Return ``(rates, r_ij)`` for the weighted max-min allocation."""
+        frozen: Dict[str, float] = {}
+        unfrozen = [i for i in self._flow_ids]
+        guard = 0
+        while unfrozen:
+            guard += 1
+            if guard > len(self._flow_ids) + 1:
+                raise FairnessError("progressive filling failed to converge")
+            level = self._max_level(frozen, unfrozen)
+            newly_frozen = []
+            for flow_id in unfrozen:
+                target = self._weights[flow_id] * level
+                demand = self._demands.get(flow_id)
+                if demand is not None and target >= demand * (1 - TOLERANCE):
+                    frozen[flow_id] = demand
+                    newly_frozen.append(flow_id)
+                    continue
+                best = self._max_flow_rate(flow_id, level, frozen, unfrozen)
+                if best <= target * (1 + TOLERANCE) + TOLERANCE:
+                    frozen[flow_id] = target
+                    newly_frozen.append(flow_id)
+            if not newly_frozen:
+                # Numerical corner: freeze the flow with the smallest
+                # headroom to guarantee progress.
+                flow_id = min(
+                    unfrozen,
+                    key=lambda i: self._max_flow_rate(i, level, frozen, unfrozen)
+                    - self._weights[i] * level,
+                )
+                frozen[flow_id] = self._weights[flow_id] * level
+                newly_frozen.append(flow_id)
+            unfrozen = [i for i in unfrozen if i not in frozen]
+        r_ij = self._feasible_split(frozen)
+        return frozen, r_ij
+
+    # ------------------------------------------------------------------
+    # Stage LPs
+    # ------------------------------------------------------------------
+    def _base_constraints(
+        self,
+        frozen: Mapping[str, float],
+        unfrozen: List[str],
+        with_level_var: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, List[Tuple[np.ndarray, float]], int]:
+        """Shared constraint blocks.
+
+        Returns (A_ub, b_ub) for capacities as dense rows, a list of
+        per-flow equality/inequality row builders, and the variable
+        count (pairs + optional level variable at the end).
+        """
+        num_vars = len(self._pairs) + (1 if with_level_var else 0)
+        cap_rows = np.zeros((len(self._interface_ids), num_vars))
+        for k, (_, j) in enumerate(self._pairs):
+            cap_rows[self._interface_ids.index(j), k] = 1.0
+        return cap_rows, self._caps.copy(), [], num_vars
+
+    def _flow_row(self, flow_id: str, num_vars: int) -> np.ndarray:
+        row = np.zeros(num_vars)
+        for j in self._willing[flow_id]:
+            row[self._pair_index[(flow_id, j)]] = 1.0
+        return row
+
+    def _max_level(self, frozen: Mapping[str, float], unfrozen: List[str]) -> float:
+        """Stage 1: the largest common normalized level for *unfrozen*."""
+        cap_rows, cap_b, _, num_vars = self._base_constraints(frozen, unfrozen, True)
+        level_var = num_vars - 1
+        a_ub = [cap_rows]
+        b_ub = [cap_b]
+        a_eq_rows = []
+        b_eq = []
+        for flow_id in frozen:
+            a_eq_rows.append(self._flow_row(flow_id, num_vars))
+            b_eq.append(frozen[flow_id])
+        for flow_id in unfrozen:
+            # φ_i t - Σ_j r_ij ≤ 0
+            row = -self._flow_row(flow_id, num_vars)
+            row[level_var] = self._weights[flow_id]
+            a_ub.append(row.reshape(1, -1))
+            b_ub.append(np.array([0.0]))
+            demand = self._demands.get(flow_id)
+            if demand is not None:
+                a_ub.append(self._flow_row(flow_id, num_vars).reshape(1, -1))
+                b_ub.append(np.array([demand]))
+        cost = np.zeros(num_vars)
+        cost[level_var] = -1.0  # maximize t
+        result = linprog(
+            cost,
+            A_ub=np.vstack(a_ub),
+            b_ub=np.concatenate(b_ub),
+            A_eq=np.vstack(a_eq_rows) if a_eq_rows else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=[(0, None)] * num_vars,
+            method="highs",
+        )
+        if not result.success:
+            raise FairnessError(f"level LP failed: {result.message}")
+        return float(result.x[-1])
+
+    def _max_flow_rate(
+        self,
+        flow_id: str,
+        level: float,
+        frozen: Mapping[str, float],
+        unfrozen: List[str],
+    ) -> float:
+        """Stage 2: max rate of *flow_id* with peers held at *level*."""
+        cap_rows, cap_b, _, num_vars = self._base_constraints(frozen, unfrozen, False)
+        a_ub = [cap_rows]
+        b_ub = [cap_b]
+        a_eq_rows = []
+        b_eq = []
+        for other, rate in frozen.items():
+            a_eq_rows.append(self._flow_row(other, num_vars))
+            b_eq.append(rate)
+        for other in unfrozen:
+            if other == flow_id:
+                continue
+            # Peers must keep at least their level rate.
+            a_ub.append(-self._flow_row(other, num_vars).reshape(1, -1))
+            b_ub.append(np.array([-self._weights[other] * level * (1 - TOLERANCE)]))
+        cost = -self._flow_row(flow_id, num_vars)
+        demand = self._demands.get(flow_id)
+        if demand is not None:
+            a_ub.append(self._flow_row(flow_id, num_vars).reshape(1, -1))
+            b_ub.append(np.array([demand]))
+        result = linprog(
+            cost,
+            A_ub=np.vstack(a_ub),
+            b_ub=np.concatenate(b_ub),
+            A_eq=np.vstack(a_eq_rows) if a_eq_rows else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=[(0, None)] * num_vars,
+            method="highs",
+        )
+        if not result.success:
+            raise FairnessError(f"blocking LP failed for {flow_id!r}: {result.message}")
+        return float(-result.fun)
+
+    def _feasible_split(
+        self, rates: Mapping[str, float]
+    ) -> Dict[Tuple[str, str], float]:
+        """Find any feasible ``r_ij`` realizing the final *rates*."""
+        num_vars = len(self._pairs)
+        cap_rows = np.zeros((len(self._interface_ids), num_vars))
+        for k, (_, j) in enumerate(self._pairs):
+            cap_rows[self._interface_ids.index(j), k] = 1.0
+        a_eq_rows = []
+        b_eq = []
+        for flow_id, rate in rates.items():
+            a_eq_rows.append(self._flow_row(flow_id, num_vars))
+            b_eq.append(rate)
+        result = linprog(
+            np.zeros(num_vars),
+            A_ub=cap_rows,
+            b_ub=self._caps * (1 + TOLERANCE),
+            A_eq=np.vstack(a_eq_rows),
+            b_eq=np.array(b_eq),
+            bounds=[(0, None)] * num_vars,
+            method="highs",
+        )
+        if not result.success:
+            raise FairnessError(f"split LP infeasible: {result.message}")
+        return {
+            pair: float(result.x[k])
+            for k, pair in enumerate(self._pairs)
+            if result.x[k] > TOLERANCE
+        }
+
+
+def lp_maxmin(
+    flows: Mapping[str, Tuple[float, Optional[Iterable[str]]]],
+    capacities: Mapping[str, float],
+    demands: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Convenience wrapper returning just the rate vector."""
+    rates, _ = LpMaxMinSolver(flows, capacities, demands).solve()
+    return rates

@@ -1,0 +1,115 @@
+"""Fairness metrics.
+
+Implements the paper's directional fairness metric (Definition 3) plus
+the standard aggregate metrics used to compare schedulers:
+
+* ``FM_{i→j}(t1, t2) = S_i/φ_i − S_j/φ_j`` — service difference between
+  two flows, normalized by weight. The paper's Lemmas 5/6 bound this by
+  ``Q' + 2·MaxSize`` for same-cluster flows and by ``−2·MaxSize`` from
+  faster to slower flows; the property tests assert those bounds on the
+  real scheduler.
+* Jain's fairness index over normalized rates.
+* Relative error of measured rates against a reference allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import FairnessError
+from ..net.sink import StatsCollector
+
+
+def directional_fairness(
+    stats: StatsCollector,
+    flow_i: str,
+    flow_j: str,
+    weights: Mapping[str, float],
+    start: float,
+    end: float,
+) -> float:
+    """``FM_{i→j}(start, end]`` in bytes-per-unit-weight (Definition 3)."""
+    service_i = stats.service_in_window(flow_i, start, end)
+    service_j = stats.service_in_window(flow_j, start, end)
+    return service_i / weights[flow_i] - service_j / weights[flow_j]
+
+
+def jain_index(normalized_rates: Sequence[float]) -> float:
+    """Jain's fairness index over normalized rates ``r_i/φ_i``.
+
+    1.0 means perfectly equal shares; 1/n means one flow has it all.
+    """
+    rates = [r for r in normalized_rates]
+    if not rates:
+        raise FairnessError("jain_index needs at least one rate")
+    total = sum(rates)
+    squares = sum(r * r for r in rates)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(rates) * squares)
+
+
+def relative_errors(
+    measured: Mapping[str, float],
+    reference: Mapping[str, float],
+) -> Dict[str, float]:
+    """Per-flow ``|measured − reference| / reference``.
+
+    Flows with a zero reference rate must also measure (near) zero.
+    """
+    errors: Dict[str, float] = {}
+    for flow_id, expected in reference.items():
+        actual = measured.get(flow_id, 0.0)
+        if expected == 0:
+            errors[flow_id] = 0.0 if abs(actual) < 1e-9 else float("inf")
+        else:
+            errors[flow_id] = abs(actual - expected) / expected
+    return errors
+
+
+def max_relative_error(
+    measured: Mapping[str, float],
+    reference: Mapping[str, float],
+) -> float:
+    """The worst per-flow relative error (convergence check)."""
+    errors = relative_errors(measured, reference)
+    return max(errors.values()) if errors else 0.0
+
+
+def measured_rates(
+    stats: StatsCollector,
+    flow_ids: Sequence[str],
+    start: float,
+    end: float,
+) -> Dict[str, float]:
+    """Average service rates (bits/s) per flow over ``(start, end]``."""
+    return {
+        flow_id: stats.rate_in_window(flow_id, start, end) for flow_id in flow_ids
+    }
+
+
+def service_lag_bound(quantum: float, max_packet: int) -> float:
+    """The paper's Lemma 6 bound on ``|FM|``: ``Q' + 2·MaxSize`` bytes."""
+    return quantum + 2 * max_packet
+
+
+def throughput_utilization(
+    stats: StatsCollector,
+    capacities: Mapping[str, float],
+    start: float,
+    end: float,
+) -> Dict[str, float]:
+    """Per-interface fraction of capacity actually used in the window."""
+    if end <= start:
+        raise FairnessError("window must have positive length")
+    usage: Dict[str, float] = {}
+    window = end - start
+    for sample in stats.samples:
+        if start < sample.time <= end:
+            usage[sample.interface_id] = (
+                usage.get(sample.interface_id, 0.0) + sample.size_bytes * 8
+            )
+    return {
+        interface_id: usage.get(interface_id, 0.0) / (capacity * window)
+        for interface_id, capacity in capacities.items()
+    }

@@ -1,0 +1,165 @@
+"""Executable versions of the paper's theory artifacts.
+
+* :func:`theorem1_counterexample` — the §2.1 proof that no causal
+  scheduler can order packets by earliest finishing time once interface
+  preferences exist, rendered as a computation: the same two
+  head-of-line packets finish in *opposite orders* under two futures
+  that are indistinguishable at decision time.
+* :func:`lemma_bounds` — the Lemma 5/6 service-lag bounds as numbers
+  for a given quantum and MTU (the test suite asserts the real
+  scheduler stays inside them).
+* :func:`fate_sharing_holds` — the §2.1 observation that *without*
+  interface preferences, changes slow all flows proportionally, which
+  is exactly what makes finishing order causal in classical WFQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FairnessError
+from .waterfill import weighted_maxmin
+
+
+@dataclass(frozen=True)
+class FinishOrderScenario:
+    """One future considered by the §2.1 argument."""
+
+    description: str
+    #: Rates each flow receives under max-min in this future (bits/s).
+    rates: Dict[str, float]
+    #: Finishing time of each head-of-line packet (seconds).
+    finish_times: Dict[str, float]
+
+    def first_to_finish(self) -> str:
+        """Which head-of-line packet completes first."""
+        return min(self.finish_times, key=self.finish_times.get)
+
+
+def _finish_times(
+    rates: Dict[str, float], packet_bits: Dict[str, float]
+) -> Dict[str, float]:
+    times = {}
+    for flow_id, bits in packet_bits.items():
+        rate = rates.get(flow_id, 0.0)
+        if rate <= 0:
+            raise FairnessError(f"flow {flow_id!r} starved in counterexample")
+        times[flow_id] = bits / rate
+    return times
+
+
+def theorem1_counterexample(
+    capacity_bps: float = 1e6,
+    packet_bits_a: float = 1_000_000.0,  # L
+    packet_bits_b: float = 500_000.0,  # L/2
+) -> Tuple[FinishOrderScenario, FinishOrderScenario]:
+    """The paper's two futures, §2.1, as a computation.
+
+    Setup (Figure 1(c)): flows *a* (willing {if1, if2}) and *b*
+    (willing {if2} only), both interfaces at *capacity_bps*.
+
+    Future 1: no new arrivals — both flows run at the full unit rate,
+    and *b*'s shorter packet finishes first (the paper's
+    ``f_a = L, f_b = L/2``). Future 2: three if2-only flows arrive
+    right after t = 0 — flow *a* keeps its full interface while *b*
+    drops to a quarter rate, so *a*'s packet finishes first. The same
+    decision instant, opposite finish orders ⇒ no causal scheduler can
+    sort by finishing time (Theorem 1).
+
+    Note the paper's prose assigns lengths "L/2 and L" to (p_a, p_b)
+    but its stated finish times ``f_a = L, f_b = L/2`` correspond to
+    the swap; we use the lengths its arithmetic implies.
+    """
+    packet_bits = {"a": packet_bits_a, "b": packet_bits_b}
+
+    # Future 1: just a and b.
+    rates_1 = {
+        flow_id: allocation_rate
+        for flow_id, allocation_rate in (
+            (
+                flow_id,
+                weighted_maxmin(
+                    {"a": (1.0, None), "b": (1.0, ["if2"])},
+                    {"if1": capacity_bps, "if2": capacity_bps},
+                ).rate(flow_id),
+            )
+            for flow_id in ("a", "b")
+        )
+    }
+    future_1 = FinishOrderScenario(
+        description="no new arrivals: a and b both at full unit rate",
+        rates=rates_1,
+        finish_times=_finish_times(rates_1, packet_bits),
+    )
+
+    # Future 2: three extra if2-only flows arrive right after t=0.
+    flows_2 = {"a": (1.0, None), "b": (1.0, ["if2"])}
+    for index in range(3):
+        flows_2[f"n{index}"] = (1.0, ["if2"])
+    allocation_2 = weighted_maxmin(
+        flows_2, {"if1": capacity_bps, "if2": capacity_bps}
+    )
+    rates_2 = {flow_id: allocation_2.rate(flow_id) for flow_id in ("a", "b")}
+    future_2 = FinishOrderScenario(
+        description="three if2-only flows arrive: b squeezed to 1/4",
+        rates=rates_2,
+        finish_times=_finish_times(rates_2, packet_bits),
+    )
+
+    if future_1.first_to_finish() == future_2.first_to_finish():
+        raise FairnessError(
+            "counterexample degenerate: both futures order finishes the same"
+        )
+    return future_1, future_2
+
+
+def lemma_bounds(
+    quantum_base: float,
+    weight: float = 1.0,
+    max_packet: float = 1500.0,
+) -> Dict[str, float]:
+    """The paper's service-lag bounds in bytes.
+
+    * Lemma 5 — ``FM_{fast→slow} > −2·MaxSize``: a faster flow's
+      normalized service never lags a slower flow's by more than two
+      maximum packets.
+    * Lemma 6 — ``|FM|`` between same-rate flows is under
+      ``Q' + 2·MaxSize`` where ``Q' = Q_i/φ_i``.
+    """
+    if quantum_base <= 0 or weight <= 0 or max_packet <= 0:
+        raise FairnessError("all bound parameters must be positive")
+    normalized_quantum = quantum_base * weight / weight  # Q_i/φ_i
+    return {
+        "lemma5_lower": -2.0 * max_packet,
+        "lemma6_bound": normalized_quantum + 2.0 * max_packet,
+    }
+
+
+def fate_sharing_holds(
+    capacities: Dict[str, float],
+    num_initial_flows: int = 2,
+    num_arrivals: int = 3,
+) -> bool:
+    """§2.1: with all-ones Π, arrivals slow every flow equally.
+
+    Computes the max-min allocation before and after *num_arrivals*
+    unconstrained flows join and checks all original flows' rates
+    scaled by the same factor (fate sharing) — the property interface
+    preferences destroy.
+    """
+    if num_initial_flows <= 0:
+        raise FairnessError("need at least one initial flow")
+    before = weighted_maxmin(
+        {f"f{i}": (1.0, None) for i in range(num_initial_flows)}, capacities
+    )
+    flows_after = {
+        f"f{i}": (1.0, None) for i in range(num_initial_flows + num_arrivals)
+    }
+    after = weighted_maxmin(flows_after, capacities)
+    ratios = [
+        after.rate(f"f{i}") / before.rate(f"f{i}")
+        for i in range(num_initial_flows)
+        if before.rate(f"f{i}") > 0
+    ]
+    return max(ratios) - min(ratios) < 1e-9

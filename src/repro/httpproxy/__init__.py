@@ -1,0 +1,35 @@
+"""HTTP/1.1 proxy substrate: messages, byte-range splitting/splicing,
+simulated transports and the inbound miDRR scheduling proxy
+(the paper's Figure 5)."""
+
+from .client import RepeatingDownloader
+from .http11 import (
+    ByteRange,
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    parse_content_range,
+    parse_range_header,
+)
+from .proxy import HttpFetch, SchedulingHttpProxy
+from .ranges import DEFAULT_CHUNK_BYTES, Splicer, split_ranges
+from .server import HttpOriginServer, synthetic_body
+from .transport import DownlinkChannel
+
+__all__ = [
+    "ByteRange",
+    "DEFAULT_CHUNK_BYTES",
+    "DownlinkChannel",
+    "Headers",
+    "HttpFetch",
+    "HttpOriginServer",
+    "HttpRequest",
+    "HttpResponse",
+    "RepeatingDownloader",
+    "SchedulingHttpProxy",
+    "Splicer",
+    "parse_content_range",
+    "parse_range_header",
+    "split_ranges",
+    "synthetic_body",
+]

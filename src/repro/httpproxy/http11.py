@@ -1,0 +1,233 @@
+"""HTTP/1.1 message parsing and serialization.
+
+A small but honest HTTP/1.1 implementation covering what the paper's
+512-line proxy needs: request/response framing with Content-Length,
+case-insensitive headers, and the Range / Content-Range machinery of
+RFC 7233 used to split one GET into per-interface byte-range requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import HttpError
+
+#: Line terminator on the wire.
+CRLF = b"\r\n"
+
+#: Reason phrases for the status codes the proxy uses.
+REASON_PHRASES = {
+    200: "OK",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    416: "Range Not Satisfiable",
+    502: "Bad Gateway",
+}
+
+
+class Headers:
+    """Case-insensitive, order-preserving header collection."""
+
+    def __init__(self, items: Optional[Mapping[str, str]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        """Set *name*, replacing any existing value."""
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+        self._items.append((name, str(value)))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of *name* (case-insensitive)."""
+        lowered = name.lower()
+        for item_name, value in self._items:
+            if item_name.lower() == lowered:
+                return value
+        return default
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def serialize(self) -> bytes:
+        """Wire form: ``Name: value`` lines without the final blank."""
+        return b"".join(
+            f"{name}: {value}".encode("latin-1") + CRLF for name, value in self._items
+        )
+
+    @classmethod
+    def parse(cls, lines: List[bytes]) -> "Headers":
+        """Parse raw header lines."""
+        headers = cls()
+        for line in lines:
+            if b":" not in line:
+                raise HttpError(f"malformed header line {line!r}")
+            name, _, value = line.partition(b":")
+            headers._items.append(
+                (name.decode("latin-1").strip(), value.decode("latin-1").strip())
+            )
+        return headers
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP/1.1 request."""
+
+    method: str
+    target: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def serialize(self) -> bytes:
+        """Full wire form including framing headers."""
+        if self.body and "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(len(self.body)))
+        start = f"{self.method} {self.target} {self.version}".encode("latin-1")
+        return start + CRLF + self.headers.serialize() + CRLF + self.body
+
+    @classmethod
+    def parse(cls, data: bytes) -> "HttpRequest":
+        """Parse a complete request from *data*."""
+        head, _, body = data.partition(CRLF + CRLF)
+        lines = head.split(CRLF)
+        if not lines:
+            raise HttpError("empty request")
+        parts = lines[0].split(b" ")
+        if len(parts) != 3:
+            raise HttpError(f"malformed request line {lines[0]!r}")
+        method, target, version = (p.decode("latin-1") for p in parts)
+        headers = Headers.parse(lines[1:])
+        length = headers.get("content-length")
+        if length is not None:
+            expected = int(length)
+            if len(body) < expected:
+                raise HttpError(
+                    f"truncated body: have {len(body)}, expected {expected}"
+                )
+            body = body[:expected]
+        return cls(
+            method=method, target=target, headers=headers, body=body, version=version
+        )
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP/1.1 response."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def reason(self) -> str:
+        """Standard reason phrase for :attr:`status`."""
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    def serialize(self) -> bytes:
+        """Full wire form including Content-Length framing."""
+        self.headers.set("Content-Length", str(len(self.body)))
+        start = f"{self.version} {self.status} {self.reason}".encode("latin-1")
+        return start + CRLF + self.headers.serialize() + CRLF + self.body
+
+    @classmethod
+    def parse(cls, data: bytes) -> "HttpResponse":
+        """Parse a complete response from *data*."""
+        head, _, body = data.partition(CRLF + CRLF)
+        lines = head.split(CRLF)
+        parts = lines[0].split(b" ", 2)
+        if len(parts) < 2:
+            raise HttpError(f"malformed status line {lines[0]!r}")
+        version = parts[0].decode("latin-1")
+        status = int(parts[1])
+        headers = Headers.parse(lines[1:])
+        length = headers.get("content-length")
+        if length is not None:
+            expected = int(length)
+            if len(body) < expected:
+                raise HttpError(
+                    f"truncated body: have {len(body)}, expected {expected}"
+                )
+            body = body[:expected]
+        return cls(status=status, headers=headers, body=body, version=version)
+
+
+@dataclass(frozen=True, order=True)
+class ByteRange:
+    """A closed byte range ``[start, end]`` (RFC 7233 semantics)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise HttpError(f"invalid byte range {self.start}-{self.end}")
+
+    @property
+    def length(self) -> int:
+        """Number of bytes covered (inclusive bounds)."""
+        return self.end - self.start + 1
+
+    def header_value(self) -> str:
+        """``bytes=start-end`` for a Range request header."""
+        return f"bytes={self.start}-{self.end}"
+
+    def content_range(self, total: int) -> str:
+        """``bytes start-end/total`` for a Content-Range header."""
+        return f"bytes {self.start}-{self.end}/{total}"
+
+
+def parse_range_header(value: str, total: int) -> ByteRange:
+    """Parse a single-range ``Range`` header against a *total* size.
+
+    Supports the three RFC forms: ``bytes=a-b``, ``bytes=a-`` and the
+    suffix form ``bytes=-n``. Multi-range requests are rejected (the
+    proxy never issues them).
+    """
+    if not value.startswith("bytes="):
+        raise HttpError(f"unsupported range unit in {value!r}")
+    spec = value[len("bytes="):]
+    if "," in spec:
+        raise HttpError("multi-range requests are unsupported")
+    start_text, _, end_text = spec.partition("-")
+    if start_text == "" and end_text == "":
+        raise HttpError(f"malformed range {value!r}")
+    if start_text == "":
+        # Suffix form: the final n bytes.
+        suffix = int(end_text)
+        if suffix <= 0:
+            raise HttpError(f"malformed suffix range {value!r}")
+        start = max(0, total - suffix)
+        end = total - 1
+    else:
+        start = int(start_text)
+        end = int(end_text) if end_text else total - 1
+    if start >= total:
+        raise HttpError(f"range {value!r} not satisfiable for size {total}")
+    end = min(end, total - 1)
+    return ByteRange(start, end)
+
+
+def parse_content_range(value: str) -> Tuple[ByteRange, int]:
+    """Parse ``Content-Range: bytes a-b/total`` into (range, total)."""
+    if not value.startswith("bytes "):
+        raise HttpError(f"unsupported content-range {value!r}")
+    spec = value[len("bytes "):]
+    range_part, _, total_part = spec.partition("/")
+    start_text, _, end_text = range_part.partition("-")
+    try:
+        start, end, total = int(start_text), int(end_text), int(total_part)
+    except ValueError as exc:
+        raise HttpError(f"malformed content-range {value!r}") from exc
+    return ByteRange(start, end), total

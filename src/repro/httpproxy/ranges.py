@@ -1,0 +1,111 @@
+"""Byte-range splitting and response splicing.
+
+The paper: "we make use of the byte-range option available in HTTP 1.1
+to divide a single GET request into multiple requests ... The responses
+are then collected, spliced together and returned to the application."
+
+:func:`split_ranges` produces the chunk plan; :class:`Splicer`
+reassembles out-of-order chunk bodies into the original object and
+knows when the transfer is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import HttpError
+from .http11 import ByteRange
+
+#: Default chunk size for range splitting (64 KiB, a typical proxy pick:
+#: large enough to amortize request overhead, small enough to reschedule
+#: between interfaces as conditions change).
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+def split_ranges(total_bytes: int, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> List[ByteRange]:
+    """Cover ``[0, total_bytes)`` with consecutive chunks.
+
+    The final chunk is short when *total_bytes* is not a multiple of
+    *chunk_bytes*.
+    """
+    if total_bytes <= 0:
+        raise HttpError(f"total_bytes must be positive, got {total_bytes}")
+    if chunk_bytes <= 0:
+        raise HttpError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    ranges = []
+    offset = 0
+    while offset < total_bytes:
+        end = min(offset + chunk_bytes, total_bytes) - 1
+        ranges.append(ByteRange(offset, end))
+        offset = end + 1
+    return ranges
+
+
+class Splicer:
+    """Reassembles range responses into the original object."""
+
+    def __init__(self, total_bytes: int) -> None:
+        if total_bytes <= 0:
+            raise HttpError(f"total_bytes must be positive, got {total_bytes}")
+        self.total_bytes = total_bytes
+        self._chunks: Dict[int, bytes] = {}
+        self._received = 0
+
+    @property
+    def bytes_received(self) -> int:
+        """Distinct body bytes accepted so far."""
+        return self._received
+
+    @property
+    def complete(self) -> bool:
+        """Has every byte of the object arrived?"""
+        return self._received >= self.total_bytes
+
+    def add(self, byte_range: ByteRange, body: bytes) -> None:
+        """Accept the body of one range response.
+
+        Duplicate ranges are rejected (the proxy never re-requests) and
+        length mismatches raise — silent corruption is the worst
+        possible failure for a splicing proxy.
+        """
+        if len(body) != byte_range.length:
+            raise HttpError(
+                f"range {byte_range.header_value()} carries {len(body)} bytes, "
+                f"expected {byte_range.length}"
+            )
+        if byte_range.end >= self.total_bytes:
+            raise HttpError(
+                f"range {byte_range.header_value()} exceeds object size "
+                f"{self.total_bytes}"
+            )
+        if byte_range.start in self._chunks:
+            raise HttpError(f"duplicate chunk at offset {byte_range.start}")
+        self._chunks[byte_range.start] = body
+        self._received += len(body)
+
+    def assemble(self) -> bytes:
+        """Concatenate all chunks; raises if any gap remains."""
+        if not self.complete:
+            raise HttpError(
+                f"object incomplete: {self._received}/{self.total_bytes} bytes"
+            )
+        parts = []
+        offset = 0
+        for start in sorted(self._chunks):
+            if start != offset:
+                raise HttpError(f"gap or overlap at offset {offset}")
+            body = self._chunks[start]
+            parts.append(body)
+            offset = start + len(body)
+        if offset != self.total_bytes:
+            raise HttpError(f"assembled {offset} bytes, expected {self.total_bytes}")
+        return b"".join(parts)
+
+    def missing_prefix_length(self) -> int:
+        """Length of the contiguous prefix received (streamable bytes)."""
+        offset = 0
+        for start in sorted(self._chunks):
+            if start != offset:
+                break
+            offset = start + len(self._chunks[start])
+        return offset

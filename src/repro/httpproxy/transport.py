@@ -1,0 +1,154 @@
+"""Simulated per-interface HTTP transport.
+
+A :class:`DownlinkChannel` models one wireless interface as seen by the
+HTTP proxy: requests go upstream instantly (they are tens of bytes),
+the origin's response becomes ready after a fixed round-trip latency,
+and response bodies are then serialized *in order* over the interface's
+time-varying downlink rate — HTTP/1.1 pipelining semantics. The proxy
+keeps up to ``pipeline_depth`` requests outstanding per channel so the
+downlink never idles while work remains, exactly the paper's
+"request pipelining ... making sure that all the available capacity is
+utilized".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..net.interface import CapacityStep
+from ..sim.simulator import Simulator
+from .http11 import HttpRequest, HttpResponse
+from .server import HttpOriginServer
+
+#: Called with the channel and the completed response.
+ResponseHandler = Callable[["DownlinkChannel", HttpRequest, HttpResponse], None]
+
+#: Serialized header overhead added to each response body, bytes.
+RESPONSE_OVERHEAD_BYTES = 160
+
+
+@dataclass
+class _PendingTransfer:
+    request: HttpRequest
+    response: HttpResponse
+    ready_at: float
+    on_response: ResponseHandler
+
+
+class DownlinkChannel:
+    """One interface's pipelined request/response path to the origin."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel_id: str,
+        server: HttpOriginServer,
+        rate_bps: float,
+        rtt: float = 0.05,
+        pipeline_depth: int = 4,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_bps}")
+        if pipeline_depth <= 0:
+            raise ConfigurationError(
+                f"pipeline_depth must be positive, got {pipeline_depth}"
+            )
+        if rtt < 0:
+            raise ConfigurationError(f"rtt must be non-negative, got {rtt}")
+        self._sim = sim
+        self.channel_id = channel_id
+        self._server = server
+        self._rate_bps = float(rate_bps)
+        self._rtt = rtt
+        self.pipeline_depth = pipeline_depth
+        self._transfers: Deque[_PendingTransfer] = deque()
+        self._transferring = False
+        self._slot_listeners: List[Callable[["DownlinkChannel"], None]] = []
+        self.bytes_delivered = 0
+        self.responses_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def rate_bps(self) -> float:
+        """Current downlink rate."""
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the downlink rate (affects the next transfer)."""
+        if rate_bps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_bps}")
+        self._rate_bps = float(rate_bps)
+
+    def apply_capacity_schedule(self, steps: Sequence[CapacityStep]) -> None:
+        """Schedule future rate changes."""
+        for step in steps:
+            self._sim.schedule(step.time, self.set_rate, step.rate_bps)
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests issued whose responses are not yet delivered.
+
+        The transfer currently serializing stays in the queue until it
+        finishes, so the queue length is the full count.
+        """
+        return len(self._transfers)
+
+    @property
+    def has_slot(self) -> bool:
+        """Can another request be pipelined right now?"""
+        return self.outstanding < self.pipeline_depth
+
+    def on_slot_free(self, listener: Callable[["DownlinkChannel"], None]) -> None:
+        """Register a callback fired whenever a pipeline slot frees."""
+        self._slot_listeners.append(listener)
+
+    def issue(self, request: HttpRequest, on_response: ResponseHandler) -> None:
+        """Send *request*; *on_response* fires when its body lands."""
+        if not self.has_slot:
+            raise ConfigurationError(
+                f"channel {self.channel_id!r} pipeline is full"
+            )
+        response = self._server.handle(request)
+        self._transfers.append(
+            _PendingTransfer(
+                request=request,
+                response=response,
+                ready_at=self._sim.now + self._rtt,
+                on_response=on_response,
+            )
+        )
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._transferring or not self._transfers:
+            return
+        head = self._transfers[0]
+        delay = max(0.0, head.ready_at - self._sim.now)
+        self._transferring = True
+        self._sim.call_later(delay, self._start_transfer)
+
+    def _start_transfer(self) -> None:
+        head = self._transfers[0]
+        size = len(head.response.body) + RESPONSE_OVERHEAD_BYTES
+        duration = size * 8 / self._rate_bps
+        self._sim.call_later(duration, self._finish_transfer)
+
+    def _finish_transfer(self) -> None:
+        transfer = self._transfers.popleft()
+        self._transferring = False
+        self.bytes_delivered += len(transfer.response.body)
+        self.responses_delivered += 1
+        transfer.on_response(self, transfer.request, transfer.response)
+        # Wake the pipeline before notifying slot listeners so listeners
+        # observe a consistent outstanding count.
+        self._maybe_start()
+        for listener in self._slot_listeners:
+            listener(self)

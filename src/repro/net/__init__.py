@@ -1,0 +1,54 @@
+"""Network substrate: packets, flows, queues, interfaces, sources, stats."""
+
+from .addresses import MAC_BROADCAST, Ipv4Address, MacAddress
+from .flow import Flow
+from .headers import (
+    ETHERTYPE_IPV4,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    EthernetHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+    internet_checksum,
+)
+from .interface import CapacityStep, Interface
+from .packet import FiveTuple, Packet
+from .queueing import FlowQueue
+from .sink import ServiceSample, StatsCollector
+from .sources import (
+    BulkSource,
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    sized_transfer,
+)
+
+__all__ = [
+    "BulkSource",
+    "CapacityStep",
+    "CbrSource",
+    "ETHERTYPE_IPV4",
+    "EthernetHeader",
+    "FiveTuple",
+    "Flow",
+    "FlowQueue",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "Interface",
+    "Ipv4Address",
+    "Ipv4Header",
+    "MAC_BROADCAST",
+    "MacAddress",
+    "OnOffSource",
+    "Packet",
+    "PoissonSource",
+    "ServiceSample",
+    "StatsCollector",
+    "TcpHeader",
+    "TraceSource",
+    "UdpHeader",
+    "internet_checksum",
+    "sized_transfer",
+]

@@ -1,0 +1,93 @@
+"""MAC and IPv4 address value types.
+
+The bridge substrate rewrites real header bytes (as the paper's Linux
+kernel bridge does), so addresses need proper wire representations, not
+just strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import HeaderError
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 48:
+            raise HeaderError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` notation."""
+        if not _MAC_RE.match(text):
+            raise HeaderError(f"invalid MAC address {text!r}")
+        return cls(int(text.replace(":", ""), 16))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        """Parse 6 raw bytes."""
+        if len(data) != 6:
+            raise HeaderError(f"MAC address needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def to_bytes(self) -> bytes:
+        """Wire representation (6 bytes, network order)."""
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ":".join(f"{b:02x}" for b in raw)
+
+
+#: The Ethernet broadcast address.
+MAC_BROADCAST = MacAddress((1 << 48) - 1)
+
+
+@dataclass(frozen=True, order=True)
+class Ipv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 32:
+            raise HeaderError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        """Parse dotted-quad notation."""
+        match = _IPV4_RE.match(text)
+        if not match:
+            raise HeaderError(f"invalid IPv4 address {text!r}")
+        octets = [int(g) for g in match.groups()]
+        if any(o > 255 for o in octets):
+            raise HeaderError(f"invalid IPv4 address {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Address":
+        """Parse 4 raw bytes."""
+        if len(data) != 4:
+            raise HeaderError(f"IPv4 address needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def to_bytes(self) -> bytes:
+        """Wire representation (4 bytes, network order)."""
+        return self.value.to_bytes(4, "big")
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ".".join(str(b) for b in raw)

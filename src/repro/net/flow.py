@@ -1,0 +1,129 @@
+"""The runtime flow object.
+
+A :class:`Flow` bundles the pieces the scheduling engine needs: the
+flow's identity, its rate preference (weight ``phi``), its interface
+preference set, its backlog queue and its service accounting.
+
+Interface preferences are stored here as a set of interface names; the
+:mod:`repro.prefs` package offers richer policy builders that compile
+down to these sets.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, FrozenSet, Iterable, List, Optional
+
+from ..errors import ConfigurationError, PreferenceError
+from .packet import Packet
+from .queueing import FlowQueue
+
+
+class Flow:
+    """One application flow with user preferences and a backlog."""
+
+    def __init__(
+        self,
+        flow_id: str,
+        weight: float = 1.0,
+        allowed_interfaces: Optional[Iterable[str]] = None,
+        max_queue_bytes: Optional[int] = None,
+    ) -> None:
+        if not flow_id:
+            raise ConfigurationError("flow_id must be non-empty")
+        if weight <= 0:
+            raise PreferenceError(
+                f"flow {flow_id!r}: weight must be positive, got {weight}"
+            )
+        self.flow_id = flow_id
+        self.weight = float(weight)
+        self._allowed: Optional[FrozenSet[str]] = (
+            frozenset(allowed_interfaces) if allowed_interfaces is not None else None
+        )
+        if self._allowed is not None and not self._allowed:
+            raise PreferenceError(
+                f"flow {flow_id!r}: empty interface preference set — the flow "
+                "could never be served"
+            )
+        self.queue = FlowQueue(flow_id, max_bytes=max_queue_bytes)
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.completed_at: Optional[float] = None
+        self._arrival_listeners: List[Callable[["Flow", Packet], None]] = []
+        self._dequeue_listeners: List[Callable[["Flow", Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    # Preferences
+    # ------------------------------------------------------------------
+    @property
+    def allowed_interfaces(self) -> Optional[FrozenSet[str]]:
+        """The interface-preference set, or ``None`` meaning "any"."""
+        return self._allowed
+
+    def willing_to_use(self, interface_id: str) -> bool:
+        """``π_ij = 1``? — is this flow willing to use *interface_id*."""
+        return self._allowed is None or interface_id in self._allowed
+
+    def restrict_to(self, interfaces: AbstractSet[str]) -> None:
+        """Replace the interface-preference set (live policy change)."""
+        if not interfaces:
+            raise PreferenceError(
+                f"flow {self.flow_id!r}: cannot restrict to an empty set"
+            )
+        self._allowed = frozenset(interfaces)
+
+    # ------------------------------------------------------------------
+    # Backlog
+    # ------------------------------------------------------------------
+    @property
+    def backlogged(self) -> bool:
+        """``True`` while packets are queued."""
+        return bool(self.queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued."""
+        return self.queue.backlog_bytes
+
+    def on_arrival(self, listener: Callable[["Flow", Packet], None]) -> None:
+        """Register a callback fired on each accepted packet arrival.
+
+        The engine uses this to kick idle interfaces when a flow goes
+        from empty to backlogged.
+        """
+        self._arrival_listeners.append(listener)
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue *packet*; returns ``False`` if drop-tail discarded it."""
+        accepted = self.queue.enqueue(packet)
+        if accepted:
+            for listener in self._arrival_listeners:
+                listener(self, packet)
+        return accepted
+
+    def on_dequeue(self, listener: Callable[["Flow", Packet], None]) -> None:
+        """Register a callback fired when a packet leaves the backlog.
+
+        Refilling traffic sources use this to keep an "always
+        backlogged" flow topped up without pre-queueing the whole
+        transfer.
+        """
+        self._dequeue_listeners.append(listener)
+
+    def pull(self) -> Packet:
+        """Dequeue the head-of-line packet (schedulers call this)."""
+        packet = self.queue.dequeue()
+        for listener in self._dequeue_listeners:
+            listener(self, packet)
+        return packet
+
+    def record_sent(self, packet: Packet) -> None:
+        """Account a transmitted packet against this flow."""
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+
+    def __repr__(self) -> str:
+        allowed = "any" if self._allowed is None else "{" + ",".join(sorted(self._allowed)) + "}"
+        return (
+            f"Flow({self.flow_id!r}, w={self.weight:g}, ifaces={allowed}, "
+            f"backlog={self.backlog_bytes}B)"
+        )

@@ -1,0 +1,281 @@
+"""Wire-format Ethernet / IPv4 / TCP / UDP headers.
+
+The paper's outbound implementation is a Linux kernel bridge that
+presents applications with one virtual interface and *rewrites packet
+headers* before transmission on whichever physical interface miDRR
+picks. To model that faithfully, the bridge substrate operates on real
+header bytes: these classes pack to and parse from the exact on-wire
+layouts, including the IPv4 header checksum and the TCP/UDP pseudo-
+header checksums.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import HeaderError
+from .addresses import Ipv4Address, MacAddress
+
+#: EtherType for IPv4 payloads.
+ETHERTYPE_IPV4 = 0x0800
+
+#: IPv4 protocol numbers.
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+_ETH_FMT = struct.Struct("!6s6sH")
+_IPV4_FMT = struct.Struct("!BBHHHBBH4s4s")
+_UDP_FMT = struct.Struct("!HHHH")
+_TCP_FMT = struct.Struct("!HHIIBBHHH")
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over *data*.
+
+    Odd-length inputs are zero-padded on the right, as the RFC
+    specifies.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """A 14-byte Ethernet II header."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = _ETH_FMT.size
+
+    def pack(self) -> bytes:
+        """Serialize to 14 wire bytes."""
+        return _ETH_FMT.pack(self.dst.to_bytes(), self.src.to_bytes(), self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        """Parse the first 14 bytes of *data*."""
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"Ethernet header needs {cls.LENGTH} bytes, got {len(data)}")
+        dst, src, ethertype = _ETH_FMT.unpack_from(data)
+        return cls(MacAddress.from_bytes(dst), MacAddress.from_bytes(src), ethertype)
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """A 20-byte (option-less) IPv4 header.
+
+    ``total_length`` covers the IPv4 header plus payload, as on the
+    wire. ``checksum`` of ``None`` means "compute on pack"; a parsed
+    header carries the received value.
+    """
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    protocol: int
+    total_length: int
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    flags_fragment: int = 0
+    checksum: Optional[int] = field(default=None)
+
+    LENGTH = _IPV4_FMT.size
+
+    def pack(self) -> bytes:
+        """Serialize to 20 wire bytes with a valid checksum."""
+        if not 0 <= self.total_length < 1 << 16:
+            raise HeaderError(f"IPv4 total_length out of range: {self.total_length}")
+        version_ihl = (4 << 4) | 5
+        header = _IPV4_FMT.pack(
+            version_ihl,
+            self.dscp,
+            self.total_length,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ipv4Header":
+        """Parse the first 20 bytes of *data*, validating the checksum."""
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"IPv4 header needs {cls.LENGTH} bytes, got {len(data)}")
+        (
+            version_ihl,
+            dscp,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _IPV4_FMT.unpack_from(data)
+        version = version_ihl >> 4
+        ihl = version_ihl & 0x0F
+        if version != 4:
+            raise HeaderError(f"not an IPv4 packet (version={version})")
+        if ihl != 5:
+            raise HeaderError(f"IPv4 options unsupported (ihl={ihl})")
+        if internet_checksum(data[: cls.LENGTH]) != 0:
+            raise HeaderError("IPv4 header checksum mismatch")
+        return cls(
+            src=Ipv4Address.from_bytes(src),
+            dst=Ipv4Address.from_bytes(dst),
+            protocol=protocol,
+            total_length=total_length,
+            ttl=ttl,
+            identification=identification,
+            dscp=dscp,
+            flags_fragment=flags_fragment,
+            checksum=checksum,
+        )
+
+    def with_addresses(
+        self,
+        src: Optional[Ipv4Address] = None,
+        dst: Optional[Ipv4Address] = None,
+    ) -> "Ipv4Header":
+        """Return a copy with rewritten addresses and a fresh checksum."""
+        return replace(
+            self,
+            src=src if src is not None else self.src,
+            dst=dst if dst is not None else self.dst,
+            checksum=None,
+        )
+
+
+def _pseudo_header(src: Ipv4Address, dst: Ipv4Address, protocol: int, length: int) -> bytes:
+    """The IPv4 pseudo-header prepended for TCP/UDP checksums."""
+    return src.to_bytes() + dst.to_bytes() + struct.pack("!BBH", 0, protocol, length)
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """An 8-byte UDP header. ``length`` covers header plus payload."""
+
+    src_port: int
+    dst_port: int
+    length: int
+    checksum: Optional[int] = None
+
+    LENGTH = _UDP_FMT.size
+
+    def pack(self, src: Ipv4Address, dst: Ipv4Address, payload: bytes = b"") -> bytes:
+        """Serialize with the RFC 768 pseudo-header checksum."""
+        header = _UDP_FMT.pack(self.src_port, self.dst_port, self.length, 0)
+        pseudo = _pseudo_header(src, dst, IPPROTO_UDP, self.length)
+        checksum = internet_checksum(pseudo + header + payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        return header[:6] + struct.pack("!H", checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        """Parse the first 8 bytes of *data* (checksum kept, not verified)."""
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"UDP header needs {cls.LENGTH} bytes, got {len(data)}")
+        src_port, dst_port, length, checksum = _UDP_FMT.unpack_from(data)
+        return cls(src_port, dst_port, length, checksum)
+
+    def verify(self, src: Ipv4Address, dst: Ipv4Address, payload: bytes = b"") -> bool:
+        """Check the pseudo-header checksum against *payload*."""
+        if self.checksum in (None, 0):
+            return True  # checksum disabled
+        header = _UDP_FMT.pack(self.src_port, self.dst_port, self.length, self.checksum)
+        pseudo = _pseudo_header(src, dst, IPPROTO_UDP, self.length)
+        return internet_checksum(pseudo + header + payload) == 0
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    """A 20-byte (option-less) TCP header."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    urgent: int = 0
+    checksum: Optional[int] = None
+
+    LENGTH = _TCP_FMT.size
+
+    FLAG_FIN = 0x01
+    FLAG_SYN = 0x02
+    FLAG_RST = 0x04
+    FLAG_PSH = 0x08
+    FLAG_ACK = 0x10
+
+    def pack(self, src: Ipv4Address, dst: Ipv4Address, payload: bytes = b"") -> bytes:
+        """Serialize with the RFC 793 pseudo-header checksum."""
+        data_offset = (5 << 4)  # 20-byte header, no options
+        header = _TCP_FMT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        )
+        pseudo = _pseudo_header(src, dst, IPPROTO_TCP, len(header) + len(payload))
+        checksum = internet_checksum(pseudo + header + payload)
+        return header[:16] + struct.pack("!H", checksum) + header[18:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        """Parse the first 20 bytes of *data* (checksum kept, not verified)."""
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"TCP header needs {cls.LENGTH} bytes, got {len(data)}")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            data_offset,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = _TCP_FMT.unpack_from(data)
+        if data_offset >> 4 != 5:
+            raise HeaderError(f"TCP options unsupported (offset={data_offset >> 4})")
+        return cls(src_port, dst_port, seq, ack, flags, window, urgent, checksum)
+
+    def verify(self, src: Ipv4Address, dst: Ipv4Address, payload: bytes = b"") -> bool:
+        """Check the pseudo-header checksum against *payload*."""
+        if self.checksum is None:
+            return True
+        header = _TCP_FMT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            5 << 4,
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+        pseudo = _pseudo_header(src, dst, IPPROTO_TCP, len(header) + len(payload))
+        return internet_checksum(pseudo + header + payload) == 0

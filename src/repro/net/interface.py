@@ -1,0 +1,210 @@
+"""The simulated network interface (output link).
+
+An :class:`Interface` models one physical interface (WiFi, 3G, ...) as a
+serial transmitter with a (possibly time-varying) line rate. Whenever it
+is free it asks its attached *packet source* — the scheduler binding —
+for the next packet, which is exactly the paper's model: *"A packet
+scheduler answers the question of when an interface is available, which
+packet should be sent?"*
+
+Capacity changes take effect for the *next* transmission; the packet in
+flight completes at the rate it started with. Capacity steps in the
+paper's experiments happen on multi-second timescales against
+millisecond packet times, so this simplification is invisible in the
+results while keeping the event math exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+from ..units import transmission_time
+from .packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.tracing import TraceLog
+
+#: Signature of the scheduler hook: given the interface, return the next
+#: packet to transmit or ``None`` to go idle.
+PacketSource = Callable[["Interface"], Optional[Packet]]
+
+#: Signature of transmission-complete listeners.
+SentListener = Callable[["Interface", Packet], None]
+
+
+@dataclass(frozen=True)
+class CapacityStep:
+    """A scheduled line-rate change: at ``time``, become ``rate_bps``."""
+
+    time: float
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError(
+                f"capacity step rate must be positive, got {self.rate_bps}"
+            )
+
+
+class Interface:
+    """A serial output link with a pluggable packet source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface_id: str,
+        rate_bps: float,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if not interface_id:
+            raise ConfigurationError("interface_id must be non-empty")
+        if rate_bps <= 0:
+            raise ConfigurationError(
+                f"interface {interface_id!r}: rate must be positive, got {rate_bps}"
+            )
+        self._sim = sim
+        self.interface_id = interface_id
+        self._rate_bps = float(rate_bps)
+        self._trace = trace
+        self._source: Optional[PacketSource] = None
+        self._sent_listeners: List[SentListener] = []
+        self._busy = False
+        self._pulling = False
+        self._up = True
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_source(self, source: PacketSource) -> None:
+        """Install the scheduler hook that supplies packets."""
+        if self._source is not None:
+            raise ConfigurationError(
+                f"interface {self.interface_id!r} already has a packet source"
+            )
+        self._source = source
+
+    def on_sent(self, listener: SentListener) -> None:
+        """Register a callback fired after each completed transmission."""
+        self._sent_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def rate_bps(self) -> float:
+        """Current line rate in bits/second."""
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the line rate (affects the next transmission)."""
+        if rate_bps <= 0:
+            raise ConfigurationError(
+                f"interface {self.interface_id!r}: rate must be positive, got {rate_bps}"
+            )
+        self._rate_bps = float(rate_bps)
+        if self._trace is not None:
+            self._trace.emit(
+                self._sim.now, self.interface_id, "rate_change", rate_bps=rate_bps
+            )
+
+    def apply_capacity_schedule(self, steps: Sequence[CapacityStep]) -> None:
+        """Schedule future :class:`CapacityStep` changes on the simulator."""
+        for step in steps:
+            self._sim.schedule(step.time, self.set_rate, step.rate_bps)
+
+    # ------------------------------------------------------------------
+    # Up/down state
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """``True`` while the interface is administratively up."""
+        return self._up
+
+    def bring_down(self) -> None:
+        """Administratively disable; the in-flight packet still completes."""
+        self._up = False
+
+    def bring_up(self) -> None:
+        """Re-enable and immediately look for work."""
+        if self._up:
+            return
+        self._up = True
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """``True`` while a packet is being serialized."""
+        return self._busy
+
+    def kick(self) -> None:
+        """Pull the next packet from the source if currently idle.
+
+        Safe to call at any time; the engine calls it on packet arrivals
+        and after capacity/topology changes.
+        """
+        if self._busy or self._pulling or not self._up:
+            return
+        if self._source is None:
+            raise SimulationError(
+                f"interface {self.interface_id!r} kicked without a packet source"
+            )
+        # Guard against re-entrance: pulling a packet can trigger source
+        # refills whose arrival hooks kick this same interface again.
+        self._pulling = True
+        try:
+            packet = self._source(self)
+        finally:
+            self._pulling = False
+        if packet is None:
+            return
+        self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        duration = transmission_time(packet.size_bytes, self._rate_bps)
+        self._busy = True
+        self.busy_time += duration
+        if self._trace is not None:
+            self._trace.emit(
+                self._sim.now,
+                self.interface_id,
+                "tx_start",
+                flow_id=packet.flow_id,
+                size_bytes=packet.size_bytes,
+            )
+        self._sim.call_later(duration, self._complete, packet)
+
+    def _complete(self, packet: Packet) -> None:
+        self._busy = False
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        if self._trace is not None:
+            self._trace.emit(
+                self._sim.now,
+                self.interface_id,
+                "tx_done",
+                flow_id=packet.flow_id,
+                size_bytes=packet.size_bytes,
+            )
+        for listener in self._sent_listeners:
+            listener(self, packet)
+        # Look for more work only after listeners ran, so rate stats and
+        # service flags are consistent when the next decision is made.
+        self.kick()
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time spent transmitting over *elapsed* seconds."""
+        window = elapsed if elapsed is not None else self._sim.now
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / window)
+
+    def __repr__(self) -> str:
+        state = "busy" if self._busy else ("idle" if self._up else "down")
+        return f"Interface({self.interface_id!r}, {self._rate_bps:g} b/s, {state})"

@@ -1,0 +1,87 @@
+"""The simulated packet.
+
+A :class:`Packet` is the unit both the scheduling engine and the bridge
+operate on. Scheduling only needs ``flow_id`` and ``size_bytes``; the
+optional :class:`FiveTuple` and raw ``wire_bytes`` support the bridge
+substrate, which classifies and rewrites real headers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .addresses import Ipv4Address
+
+_packet_counter = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """The classic flow identifier: addresses, ports, protocol."""
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FiveTuple":
+        """The tuple of the reverse direction (for return traffic)."""
+        return FiveTuple(
+            src=self.dst,
+            dst=self.src,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port}"
+            f"/proto{self.protocol}"
+        )
+
+
+@dataclass
+class Packet:
+    """One schedulable packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the flow this packet belongs to.
+    size_bytes:
+        Total on-wire size; this is what deficit counters account in.
+    created_at:
+        Virtual time of arrival into the system (for latency stats).
+    seqno:
+        Globally unique, monotonically increasing id (determinism aid).
+    five_tuple:
+        Optional L3/L4 identity, set when the bridge substrate is used.
+    wire_bytes:
+        Optional raw bytes (headers + payload) for bridge rewriting.
+    """
+
+    flow_id: str
+    size_bytes: int
+    created_at: float = 0.0
+    seqno: int = field(default_factory=lambda: next(_packet_counter))
+    five_tuple: Optional[FiveTuple] = None
+    wire_bytes: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"packet size must be positive, got {self.size_bytes}"
+            )
+
+    @property
+    def size_bits(self) -> float:
+        """On-wire size in bits."""
+        return self.size_bytes * 8
+
+    def __repr__(self) -> str:  # compact for trace dumps
+        return f"Packet({self.flow_id}#{self.seqno}, {self.size_bytes}B)"

@@ -1,0 +1,126 @@
+"""Per-flow packet queues.
+
+:class:`FlowQueue` is the backlog the schedulers inspect: a FIFO with
+byte accounting and an optional capacity bound with drop-tail semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+from .packet import Packet
+
+
+class FlowQueue:
+    """A FIFO of packets for a single flow with byte accounting.
+
+    Parameters
+    ----------
+    flow_id:
+        The owning flow (stored for diagnostics; enqueue asserts match).
+    max_bytes:
+        Optional drop-tail bound. ``None`` means unbounded, which is the
+        right model for the paper's always-backlogged experiments.
+    on_drop:
+        Optional callback invoked with each dropped packet.
+    """
+
+    def __init__(
+        self,
+        flow_id: str,
+        max_bytes: Optional[int] = None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
+        self.flow_id = flow_id
+        self.max_bytes = max_bytes
+        self._on_drop = on_drop
+        self._packets: Deque[Packet] = deque()
+        self._backlog_bytes = 0
+        self._dropped_packets = 0
+        self._dropped_bytes = 0
+        self._enqueued_packets = 0
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __bool__(self) -> bool:
+        return bool(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Total bytes currently queued."""
+        return self._backlog_bytes
+
+    @property
+    def dropped_packets(self) -> int:
+        """Packets discarded by drop-tail so far."""
+        return self._dropped_packets
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Bytes discarded by drop-tail so far."""
+        return self._dropped_bytes
+
+    @property
+    def enqueued_packets(self) -> int:
+        """Packets accepted so far (excludes drops)."""
+        return self._enqueued_packets
+
+    def head(self) -> Optional[Packet]:
+        """The head-of-line packet without removing it."""
+        return self._packets[0] if self._packets else None
+
+    def head_size(self) -> Optional[int]:
+        """Size in bytes of the head-of-line packet, if any."""
+        head = self.head()
+        return head.size_bytes if head is not None else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Append *packet*; returns ``False`` if drop-tail discarded it."""
+        if packet.flow_id != self.flow_id:
+            raise ConfigurationError(
+                f"packet for flow {packet.flow_id!r} enqueued on queue "
+                f"for flow {self.flow_id!r}"
+            )
+        if (
+            self.max_bytes is not None
+            and self._backlog_bytes + packet.size_bytes > self.max_bytes
+        ):
+            self._dropped_packets += 1
+            self._dropped_bytes += packet.size_bytes
+            if self._on_drop is not None:
+                self._on_drop(packet)
+            return False
+        self._packets.append(packet)
+        self._backlog_bytes += packet.size_bytes
+        self._enqueued_packets += 1
+        return True
+
+    def dequeue(self) -> Packet:
+        """Remove and return the head-of-line packet.
+
+        Raises :class:`IndexError` when empty, mirroring ``deque``.
+        """
+        packet = self._packets.popleft()
+        self._backlog_bytes -= packet.size_bytes
+        return packet
+
+    def clear(self) -> List[Packet]:
+        """Empty the queue, returning the removed packets."""
+        removed = list(self._packets)
+        self._packets.clear()
+        self._backlog_bytes = 0
+        return removed

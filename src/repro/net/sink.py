@@ -1,0 +1,198 @@
+"""Measurement sinks.
+
+:class:`StatsCollector` hangs off every interface's ``on_sent`` hook and
+records per-flow, per-interface service. It answers the questions the
+paper's figures ask: achieved rate per flow over time (Figure 6/10),
+total service per flow (fairness metrics), and the flow→interface
+service matrix ``r_ij`` used to extract rate clusters (Figure 8/11).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.simulator import Simulator
+from .interface import Interface
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class ServiceSample:
+    """One completed transmission: who, where, how much, when.
+
+    ``delay`` is the packet's queueing + transmission delay (completion
+    time minus arrival into the system); ``None`` for service recorded
+    without packet context (e.g. HTTP chunk deliveries).
+    """
+
+    time: float
+    flow_id: str
+    interface_id: str
+    size_bytes: int
+    delay: Optional[float] = None
+
+
+class StatsCollector:
+    """Records every completed transmission in the system."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._samples: List[ServiceSample] = []
+        self._bytes_by_flow: Dict[str, int] = defaultdict(int)
+        self._bytes_by_interface: Dict[str, int] = defaultdict(int)
+        self._bytes_by_pair: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    def watch(self, *interfaces: Interface) -> "StatsCollector":
+        """Subscribe to the given interfaces' completion events."""
+        for interface in interfaces:
+            interface.on_sent(self._record)
+        return self
+
+    def _record(self, interface: Interface, packet: Packet) -> None:
+        self.record(
+            packet.flow_id,
+            interface.interface_id,
+            packet.size_bytes,
+            delay=self._sim.now - packet.created_at,
+        )
+
+    def record(
+        self,
+        flow_id: str,
+        interface_id: str,
+        size_bytes: int,
+        delay: Optional[float] = None,
+    ) -> None:
+        """Record one unit of service directly.
+
+        Interfaces feed this automatically via :meth:`watch`; substrates
+        that deliver service by other means (e.g. the HTTP proxy's
+        range responses) call it themselves.
+        """
+        sample = ServiceSample(
+            time=self._sim.now,
+            flow_id=flow_id,
+            interface_id=interface_id,
+            size_bytes=size_bytes,
+            delay=delay,
+        )
+        self._samples.append(sample)
+        self._bytes_by_flow[flow_id] += size_bytes
+        self._bytes_by_interface[interface_id] += size_bytes
+        self._bytes_by_pair[(flow_id, interface_id)] += size_bytes
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> Sequence[ServiceSample]:
+        """Every recorded transmission, in completion order."""
+        return self._samples
+
+    def bytes_sent(self, flow_id: str) -> int:
+        """Total bytes served to *flow_id* so far."""
+        return self._bytes_by_flow.get(flow_id, 0)
+
+    def interface_bytes(self, interface_id: str) -> int:
+        """Total bytes transmitted by *interface_id* so far."""
+        return self._bytes_by_interface.get(interface_id, 0)
+
+    def service_matrix(self) -> Dict[Tuple[str, str], int]:
+        """``r_ij`` in bytes: service of flow *i* on interface *j*."""
+        return dict(self._bytes_by_pair)
+
+    def flow_ids(self) -> List[str]:
+        """Flows that received any service, sorted."""
+        return sorted(self._bytes_by_flow)
+
+    # ------------------------------------------------------------------
+    # Windowed queries (figures plot rates over time)
+    # ------------------------------------------------------------------
+    def service_in_window(
+        self,
+        flow_id: str,
+        start: float,
+        end: float,
+        interface_id: Optional[str] = None,
+    ) -> int:
+        """Bytes served to *flow_id* in ``(start, end]``.
+
+        ``S_i(t1, t2)`` from the paper's Definition 3.
+        """
+        total = 0
+        for sample in self._samples:
+            if sample.flow_id != flow_id:
+                continue
+            if interface_id is not None and sample.interface_id != interface_id:
+                continue
+            if start < sample.time <= end:
+                total += sample.size_bytes
+        return total
+
+    def rate_in_window(self, flow_id: str, start: float, end: float) -> float:
+        """Average service rate (bits/s) of *flow_id* over ``(start, end]``."""
+        if end <= start:
+            return 0.0
+        return self.service_in_window(flow_id, start, end) * 8 / (end - start)
+
+    def rate_timeseries(
+        self,
+        flow_id: str,
+        bin_width: float,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Per-bin average rates: ``[(bin_center_time, rate_bps), ...]``.
+
+        This is the series the Figure 6 and Figure 10 plots show.
+        """
+        horizon = end if end is not None else self._sim.now
+        if bin_width <= 0 or horizon <= start:
+            return []
+        num_bins = int((horizon - start) / bin_width + 1e-9)
+        totals = [0.0] * num_bins
+        for sample in self._samples:
+            if sample.flow_id != flow_id:
+                continue
+            index = int((sample.time - start) / bin_width)
+            if 0 <= index < num_bins:
+                totals[index] += sample.size_bytes
+        return [
+            (start + (i + 0.5) * bin_width, totals[i] * 8 / bin_width)
+            for i in range(num_bins)
+        ]
+
+    def delays(
+        self,
+        flow_id: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> List[float]:
+        """Per-packet delays for *flow_id* over ``(start, end]``.
+
+        Queueing + transmission delay per delivered packet; samples
+        without delay context are skipped. Use with
+        :class:`repro.analysis.cdf.EmpiricalCdf` for percentiles — the
+        latency view behind the paper's "VoIP prefers WiFi because 3G
+        latency is higher" motivation.
+        """
+        horizon = end if end is not None else self._sim.now
+        return [
+            sample.delay
+            for sample in self._samples
+            if sample.flow_id == flow_id
+            and sample.delay is not None
+            and start < sample.time <= horizon
+        ]
+
+    def pair_service_in_window(
+        self, start: float, end: float
+    ) -> Dict[Tuple[str, str], int]:
+        """The ``r_ij`` matrix restricted to ``(start, end]`` (bytes)."""
+        matrix: Dict[Tuple[str, str], int] = defaultdict(int)
+        for sample in self._samples:
+            if start < sample.time <= end:
+                matrix[(sample.flow_id, sample.interface_id)] += sample.size_bytes
+        return dict(matrix)

@@ -1,0 +1,24 @@
+"""User preference model: Π matrix, rate weights, and policy builders."""
+
+from .policy import (
+    AnyInterface,
+    AppPolicy,
+    DevicePolicy,
+    Except,
+    InterfaceRule,
+    Only,
+    Prefer,
+)
+from .preferences import FlowPreference, PreferenceSet
+
+__all__ = [
+    "AnyInterface",
+    "AppPolicy",
+    "DevicePolicy",
+    "Except",
+    "FlowPreference",
+    "InterfaceRule",
+    "Only",
+    "Prefer",
+    "PreferenceSet",
+]

@@ -1,0 +1,160 @@
+"""Named preference policies.
+
+The paper's introduction motivates preferences in user terms —
+"stream video over WiFi", "VoIP over 3G for continuity", "Netflix gets
+twice Dropbox". This module provides a small, readable vocabulary for
+writing those policies and compiling them into a
+:class:`~repro.prefs.preferences.PreferenceSet`.
+
+Example
+-------
+>>> policy = DevicePolicy(interfaces=["wifi", "lte"])
+>>> policy.app("netflix", Only("wifi"), weight=2.0)
+>>> policy.app("dropbox", AnyInterface(), weight=1.0)
+>>> policy.app("voip", Prefer("lte"), weight=1.0)
+>>> prefs = policy.compile()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PreferenceError
+from .preferences import PreferenceSet
+
+
+class InterfaceRule:
+    """Base class for interface-preference rules."""
+
+    def resolve(self, interfaces: Sequence[str]) -> Optional[FrozenSet[str]]:
+        """Return the willing set given the device's interfaces.
+
+        ``None`` means "any interface".
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AnyInterface(InterfaceRule):
+    """Willing to use every interface (π row of all ones)."""
+
+    def resolve(self, interfaces: Sequence[str]) -> Optional[FrozenSet[str]]:
+        return None
+
+
+@dataclass(frozen=True)
+class Only(InterfaceRule):
+    """Willing to use exactly the named interfaces.
+
+    ``Only("wifi")`` is the paper's "YouTube can only use WiFi".
+    """
+
+    names: Tuple[str, ...]
+
+    def __init__(self, *names: str) -> None:
+        if not names:
+            raise PreferenceError("Only() needs at least one interface name")
+        object.__setattr__(self, "names", tuple(names))
+
+    def resolve(self, interfaces: Sequence[str]) -> Optional[FrozenSet[str]]:
+        unknown = set(self.names) - set(interfaces)
+        if unknown:
+            raise PreferenceError(
+                f"policy references unknown interfaces {sorted(unknown)}"
+            )
+        return frozenset(self.names)
+
+
+@dataclass(frozen=True)
+class Except(InterfaceRule):
+    """Willing to use every interface except the named ones.
+
+    ``Except("lte")`` captures "never touch my metered connection".
+    """
+
+    names: Tuple[str, ...]
+
+    def __init__(self, *names: str) -> None:
+        if not names:
+            raise PreferenceError("Except() needs at least one interface name")
+        object.__setattr__(self, "names", tuple(names))
+
+    def resolve(self, interfaces: Sequence[str]) -> Optional[FrozenSet[str]]:
+        remaining = frozenset(interfaces) - set(self.names)
+        if not remaining:
+            raise PreferenceError(
+                "Except() rule excludes every interface on the device"
+            )
+        return remaining
+
+
+@dataclass(frozen=True)
+class Prefer(InterfaceRule):
+    """Use only the first *available* interface from an ordered list.
+
+    This models fallback policies ("WiFi, else LTE"): the willing set
+    is the single highest-ranked interface present on the device. A
+    scheduler-level binary Π cannot express soft ordering, so this rule
+    compiles the ordering down to its currently-best choice; re-compile
+    when interfaces come and go.
+    """
+
+    names: Tuple[str, ...]
+
+    def __init__(self, *names: str) -> None:
+        if not names:
+            raise PreferenceError("Prefer() needs at least one interface name")
+        object.__setattr__(self, "names", tuple(names))
+
+    def resolve(self, interfaces: Sequence[str]) -> Optional[FrozenSet[str]]:
+        for name in self.names:
+            if name in interfaces:
+                return frozenset({name})
+        raise PreferenceError(
+            f"none of the preferred interfaces {list(self.names)} exist"
+        )
+
+
+@dataclass(frozen=True)
+class AppPolicy:
+    """One application's compiled policy entry."""
+
+    app_id: str
+    rule: InterfaceRule
+    weight: float
+
+
+class DevicePolicy:
+    """An ordered collection of per-app rules for one device."""
+
+    def __init__(self, interfaces: Iterable[str]) -> None:
+        self._interfaces: List[str] = list(dict.fromkeys(interfaces))
+        if not self._interfaces:
+            raise PreferenceError("a device needs at least one interface")
+        self._apps: Dict[str, AppPolicy] = {}
+
+    @property
+    def interfaces(self) -> List[str]:
+        """The device's interfaces, in registration order."""
+        return list(self._interfaces)
+
+    def app(self, app_id: str, rule: InterfaceRule, weight: float = 1.0) -> None:
+        """Declare the policy for *app_id*."""
+        if app_id in self._apps:
+            raise PreferenceError(f"app {app_id!r} already has a policy")
+        if weight <= 0:
+            raise PreferenceError(f"weight must be positive, got {weight}")
+        self._apps[app_id] = AppPolicy(app_id=app_id, rule=rule, weight=weight)
+
+    def compile(self) -> PreferenceSet:
+        """Resolve every rule into a :class:`PreferenceSet`."""
+        prefs = PreferenceSet(self._interfaces)
+        for app_id, policy in self._apps.items():
+            willing = policy.rule.resolve(self._interfaces)
+            prefs.add_flow(app_id, weight=policy.weight, interfaces=willing)
+        prefs.validate()
+        return prefs
+
+    def __len__(self) -> int:
+        return len(self._apps)

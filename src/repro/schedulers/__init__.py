@@ -1,0 +1,37 @@
+"""Packet schedulers: classic single-interface algorithms, naive
+multi-interface baselines, and the paper's miDRR."""
+
+from .base import MultiInterfaceScheduler, SingleInterfaceScheduler
+from .drr import DEFAULT_QUANTUM, DrrScheduler
+from .fifo import FifoScheduler, RoundRobinScheduler
+from .midrr import (
+    COUNTER_CAP,
+    DEFICIT_SCOPES,
+    EXCLUSION_MODES,
+    FLAG_MODES,
+    MiDrrScheduler,
+)
+from .per_interface import (
+    PerInterfaceScheduler,
+    SchedulerFactory,
+    StaticSplitScheduler,
+)
+from .wfq import WfqScheduler
+
+__all__ = [
+    "COUNTER_CAP",
+    "DEFAULT_QUANTUM",
+    "DEFICIT_SCOPES",
+    "EXCLUSION_MODES",
+    "DrrScheduler",
+    "FLAG_MODES",
+    "FifoScheduler",
+    "MiDrrScheduler",
+    "MultiInterfaceScheduler",
+    "PerInterfaceScheduler",
+    "RoundRobinScheduler",
+    "SchedulerFactory",
+    "SingleInterfaceScheduler",
+    "StaticSplitScheduler",
+    "WfqScheduler",
+]

@@ -1,0 +1,180 @@
+"""Scheduler interfaces.
+
+Two levels exist:
+
+* :class:`SingleInterfaceScheduler` — the classical problem: one output
+  link, many flows, answer "which packet next?". DRR, WFQ, RR and FIFO
+  implement this.
+* :class:`MultiInterfaceScheduler` — the paper's problem: several
+  output links, a preference matrix Π and weights φ. miDRR and the
+  per-interface baselines implement this. The engine calls
+  :meth:`MultiInterfaceScheduler.select` whenever an interface is free.
+
+Both levels operate on shared :class:`~repro.net.flow.Flow` objects;
+packets are taken from the flow's queue with :meth:`Flow.pull` so that
+traffic sources can refill backlogs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from ..errors import SchedulingError
+from ..net.flow import Flow
+from ..net.packet import Packet
+
+
+class SingleInterfaceScheduler(ABC):
+    """Chooses the next packet for one output link."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[str, Flow] = {}
+
+    # ------------------------------------------------------------------
+    # Flow management
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow) -> None:
+        """Start scheduling *flow*. Idempotent for the same object."""
+        existing = self._flows.get(flow.flow_id)
+        if existing is flow:
+            return
+        if existing is not None:
+            raise SchedulingError(
+                f"a different Flow object with id {flow.flow_id!r} is registered"
+            )
+        self._flows[flow.flow_id] = flow
+        self._on_flow_added(flow)
+
+    def remove_flow(self, flow_id: str) -> None:
+        """Stop scheduling *flow_id* (flow ended or policy changed)."""
+        flow = self._flows.pop(flow_id, None)
+        if flow is not None:
+            self._on_flow_removed(flow)
+
+    def flows(self) -> List[Flow]:
+        """Registered flows in registration order."""
+        return list(self._flows.values())
+
+    def has_flow(self, flow_id: str) -> bool:
+        """Whether *flow_id* is registered."""
+        return flow_id in self._flows
+
+    def notify_backlogged(self, flow: Flow) -> None:
+        """Tell the scheduler *flow* just went from empty to backlogged."""
+        if flow.flow_id in self._flows:
+            self._on_backlogged(flow)
+
+    # Subclass hooks ----------------------------------------------------
+    def _on_flow_added(self, flow: Flow) -> None:
+        """Per-scheduler bookkeeping for a new flow."""
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        """Per-scheduler bookkeeping for a departed flow."""
+
+    def _on_backlogged(self, flow: Flow) -> None:
+        """Per-scheduler bookkeeping for an empty→backlogged transition."""
+
+    # ------------------------------------------------------------------
+    # The scheduling decision
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def next_packet(self) -> Optional[Packet]:
+        """Return the next packet to transmit, or ``None`` to idle.
+
+        Must be work-conserving: only return ``None`` when no
+        registered flow is backlogged.
+        """
+
+
+class MultiInterfaceScheduler(ABC):
+    """Chooses the next packet for each of several output links."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[str, Flow] = {}
+        self._interface_ids: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register_interface(self, interface_id: str) -> None:
+        """Declare an output link. Must precede ``select`` for it."""
+        if interface_id in self._interface_ids:
+            raise SchedulingError(f"interface {interface_id!r} already registered")
+        self._interface_ids.append(interface_id)
+        self._on_interface_added(interface_id)
+
+    def interface_ids(self) -> List[str]:
+        """Registered interfaces, in registration order."""
+        return list(self._interface_ids)
+
+    # ------------------------------------------------------------------
+    # Flow management
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow) -> None:
+        """Start scheduling *flow* on its willing interfaces."""
+        existing = self._flows.get(flow.flow_id)
+        if existing is flow:
+            return
+        if existing is not None:
+            raise SchedulingError(
+                f"a different Flow object with id {flow.flow_id!r} is registered"
+            )
+        willing = [j for j in self._interface_ids if flow.willing_to_use(j)]
+        if not willing:
+            raise SchedulingError(
+                f"flow {flow.flow_id!r} is unwilling to use every registered "
+                "interface; it could never be served"
+            )
+        self._flows[flow.flow_id] = flow
+        self._on_flow_added(flow)
+
+    def remove_flow(self, flow_id: str) -> None:
+        """Stop scheduling *flow_id*."""
+        flow = self._flows.pop(flow_id, None)
+        if flow is not None:
+            self._on_flow_removed(flow)
+
+    def flows(self) -> List[Flow]:
+        """Registered flows in registration order."""
+        return list(self._flows.values())
+
+    def has_flow(self, flow_id: str) -> bool:
+        """Whether *flow_id* is registered."""
+        return flow_id in self._flows
+
+    def get_flow(self, flow_id: str) -> Flow:
+        """Look up a registered flow."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise SchedulingError(f"unknown flow {flow_id!r}")
+        return flow
+
+    def notify_backlogged(self, flow: Flow) -> None:
+        """Tell the scheduler *flow* just went from empty to backlogged."""
+        if flow.flow_id in self._flows:
+            self._on_backlogged(flow)
+
+    # Subclass hooks ----------------------------------------------------
+    def _on_interface_added(self, interface_id: str) -> None:
+        """Per-scheduler bookkeeping for a new interface."""
+
+    def _on_flow_added(self, flow: Flow) -> None:
+        """Per-scheduler bookkeeping for a new flow."""
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        """Per-scheduler bookkeeping for a departed flow."""
+
+    def _on_backlogged(self, flow: Flow) -> None:
+        """Per-scheduler bookkeeping for an empty→backlogged transition."""
+
+    # ------------------------------------------------------------------
+    # The scheduling decision
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def select(self, interface_id: str) -> Optional[Packet]:
+        """Pick the next packet for *interface_id*, or ``None`` to idle.
+
+        Must respect Π (never return a packet of an unwilling flow) and
+        be work-conserving per interface.
+        """

@@ -1,0 +1,141 @@
+"""Deficit Round Robin (Shreedhar & Varghese, SIGCOMM '95).
+
+This is the paper's Algorithm 3.1 in event-driven form: each call to
+:meth:`DrrScheduler.next_packet` corresponds to "interface j is free to
+send another packet".
+
+State per flow: a quantum ``Q_i = quantum_base × φ_i`` and a deficit
+counter ``DC_i``. A *service turn* grants the quantum; the flow then
+sends head-of-line packets while the deficit covers them. When the flow
+empties, its deficit resets to zero (Algorithm 3.1), which is what
+bounds ``0 ≤ DC_i < MaxSize`` (the paper's Lemma 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError, SchedulingError
+from ..net.flow import Flow
+from ..net.packet import Packet
+from .base import SingleInterfaceScheduler
+
+#: Default quantum in bytes; at least one MTU so every turn can send.
+DEFAULT_QUANTUM = 1500
+
+
+class DrrScheduler(SingleInterfaceScheduler):
+    """Classic single-interface DRR with weighted quanta."""
+
+    def __init__(self, quantum_base: int = DEFAULT_QUANTUM) -> None:
+        super().__init__()
+        if quantum_base <= 0:
+            raise ConfigurationError(
+                f"quantum_base must be positive, got {quantum_base}"
+            )
+        self._quantum_base = quantum_base
+        # Insertion-ordered active list; OrderedDict gives O(1) membership
+        # tests plus stable round-robin order.
+        self._active: "OrderedDict[str, None]" = OrderedDict()
+        self._deficit: Dict[str, float] = {}
+        self._current: Optional[str] = None
+        self.turns_taken: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def quantum(self, flow: Flow) -> float:
+        """``Q_i`` — the per-turn byte allowance for *flow*."""
+        return self._quantum_base * flow.weight
+
+    def deficit(self, flow_id: str) -> float:
+        """Current ``DC_i`` (0 for unknown flows)."""
+        return self._deficit.get(flow_id, 0.0)
+
+    def _on_flow_added(self, flow: Flow) -> None:
+        self._deficit.setdefault(flow.flow_id, 0.0)
+        self.turns_taken.setdefault(flow.flow_id, 0)
+        if flow.backlogged:
+            self._active[flow.flow_id] = None
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        self._active.pop(flow.flow_id, None)
+        self._deficit.pop(flow.flow_id, None)
+        if self._current == flow.flow_id:
+            self._current = None
+
+    def _on_backlogged(self, flow: Flow) -> None:
+        if flow.flow_id not in self._active:
+            self._active[flow.flow_id] = None
+
+    def _deactivate(self, flow_id: str) -> None:
+        """Flow emptied: reset deficit and drop from the active list."""
+        self._active.pop(flow_id, None)
+        self._deficit[flow_id] = 0.0
+        if self._current == flow_id:
+            self._current = None
+
+    def _rotate_to_next(self) -> Optional[str]:
+        """Advance the round-robin cursor to the next active flow."""
+        if not self._active:
+            return None
+        flow_id, _ = self._active.popitem(last=False)
+        self._active[flow_id] = None  # move to the back of the round
+        return flow_id
+
+    # ------------------------------------------------------------------
+    # Algorithm 3.1
+    # ------------------------------------------------------------------
+    def next_packet(self) -> Optional[Packet]:
+        # Reconcile the active list with reality: sources may have
+        # refilled queues since we last looked.
+        for flow in self._flows.values():
+            if flow.backlogged and flow.flow_id not in self._active:
+                self._active[flow.flow_id] = None
+
+        if not self._active:
+            return None
+
+        # Continue the current flow's turn while its deficit covers the
+        # head-of-line packet.
+        guard = 0
+        max_iterations = 2 * len(self._active) + 64
+        while True:
+            guard += 1
+            if guard > max_iterations and self._largest_quantum() <= 0:
+                raise SchedulingError("DRR made no progress")  # pragma: no cover
+            if self._current is None:
+                flow_id = self._rotate_to_next()
+                if flow_id is None:
+                    return None
+                self._current = flow_id
+                self._deficit[flow_id] += self.quantum(self._flows[flow_id])
+                self.turns_taken[flow_id] = self.turns_taken.get(flow_id, 0) + 1
+
+            flow = self._flows.get(self._current)
+            if flow is None or not flow.backlogged:
+                # Stale cursor (flow drained between decisions).
+                if flow is not None:
+                    self._deactivate(flow.flow_id)
+                else:
+                    self._current = None
+                if not self._active:
+                    return None
+                continue
+
+            head_size = flow.queue.head_size()
+            assert head_size is not None
+            if head_size <= self._deficit[flow.flow_id]:
+                self._deficit[flow.flow_id] -= head_size
+                packet = flow.pull()
+                if not flow.backlogged:
+                    self._deactivate(flow.flow_id)
+                return packet
+
+            # Deficit exhausted: the turn ends, move on. The deficit is
+            # carried over (that is the "deficit" in DRR).
+            self._current = None
+
+    def _largest_quantum(self) -> float:
+        return max((self.quantum(f) for f in self._flows.values()), default=0.0)

@@ -1,0 +1,138 @@
+"""Naive multi-interface baselines.
+
+These reproduce the schedulers the paper shows are *insufficient*:
+
+* :class:`PerInterfaceScheduler` — run an independent single-interface
+  scheduler (WFQ or DRR) on every interface over the shared backlogs of
+  all willing flows. This is "prior work": it meets interface
+  preferences and is work-conserving, but fails rate preferences — in
+  Figure 1(c) it gives flow *a* 1.5 Mb/s and flow *b* 0.5 Mb/s instead
+  of the max-min fair (1, 1).
+* :class:`StaticSplitScheduler` — pin each flow to exactly one willing
+  interface (weighted-least-loaded at admission) and run DRR per
+  interface. Simple, but wastes capacity and cannot aggregate
+  bandwidth across interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SchedulingError
+from ..net.flow import Flow
+from ..net.packet import Packet
+from .base import MultiInterfaceScheduler, SingleInterfaceScheduler
+from .drr import DrrScheduler
+from .wfq import WfqScheduler
+
+#: Factory producing one fresh single-interface scheduler per interface.
+SchedulerFactory = Callable[[], SingleInterfaceScheduler]
+
+
+class PerInterfaceScheduler(MultiInterfaceScheduler):
+    """Independent single-interface schedulers over shared backlogs."""
+
+    def __init__(self, factory: SchedulerFactory) -> None:
+        super().__init__()
+        self._factory = factory
+        self._inner: Dict[str, SingleInterfaceScheduler] = {}
+
+    @classmethod
+    def wfq(cls) -> "PerInterfaceScheduler":
+        """The paper's per-interface WFQ baseline."""
+        return cls(WfqScheduler)
+
+    @classmethod
+    def drr(cls, quantum_base: int = 1500) -> "PerInterfaceScheduler":
+        """The paper's "naive DRR on each interface" baseline."""
+        return cls(lambda: DrrScheduler(quantum_base=quantum_base))
+
+    @classmethod
+    def fifo(cls) -> "PerInterfaceScheduler":
+        """Aggregate FIFO striping: no fairness machinery at all.
+
+        Whichever interface frees up first takes the globally oldest
+        eligible packet — the behaviour of naive packet striping (a
+        pull-side join-shortest-queue). Π still holds (unwilling
+        interfaces never see the flow), but heavy flows crowd out light
+        ones entirely; the conformance battery shows what that costs.
+        """
+        from .fifo import FifoScheduler
+
+        return cls(FifoScheduler)
+
+    def _on_interface_added(self, interface_id: str) -> None:
+        self._inner[interface_id] = self._factory()
+        # Flows added before this interface appeared join it now.
+        for flow in self._flows.values():
+            if flow.willing_to_use(interface_id):
+                self._inner[interface_id].add_flow(flow)
+
+    def _on_flow_added(self, flow: Flow) -> None:
+        for interface_id, inner in self._inner.items():
+            if flow.willing_to_use(interface_id):
+                inner.add_flow(flow)
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        for inner in self._inner.values():
+            inner.remove_flow(flow.flow_id)
+
+    def _on_backlogged(self, flow: Flow) -> None:
+        for interface_id, inner in self._inner.items():
+            if flow.willing_to_use(interface_id):
+                inner.notify_backlogged(flow)
+
+    def select(self, interface_id: str) -> Optional[Packet]:
+        inner = self._inner.get(interface_id)
+        if inner is None:
+            raise SchedulingError(f"unknown interface {interface_id!r}")
+        return inner.next_packet()
+
+
+class StaticSplitScheduler(MultiInterfaceScheduler):
+    """Pin each flow to one willing interface; DRR per interface.
+
+    Assignment picks the willing interface with the smallest total
+    pinned weight (ties broken by registration order), a reasonable
+    admission-time heuristic a mobile OS might use.
+    """
+
+    def __init__(self, quantum_base: int = 1500) -> None:
+        super().__init__()
+        self._quantum_base = quantum_base
+        self._inner: Dict[str, DrrScheduler] = {}
+        self._pinned_weight: Dict[str, float] = {}
+        self._assignment: Dict[str, str] = {}
+
+    @property
+    def assignment(self) -> Dict[str, str]:
+        """Current flow → interface pinning."""
+        return dict(self._assignment)
+
+    def _on_interface_added(self, interface_id: str) -> None:
+        self._inner[interface_id] = DrrScheduler(quantum_base=self._quantum_base)
+        self._pinned_weight[interface_id] = 0.0
+
+    def _on_flow_added(self, flow: Flow) -> None:
+        willing = [j for j in self.interface_ids() if flow.willing_to_use(j)]
+        target = min(willing, key=lambda j: self._pinned_weight[j])
+        self._assignment[flow.flow_id] = target
+        self._pinned_weight[target] += flow.weight
+        self._inner[target].add_flow(flow)
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        target = self._assignment.pop(flow.flow_id, None)
+        if target is not None:
+            self._pinned_weight[target] -= flow.weight
+            self._inner[target].remove_flow(flow.flow_id)
+
+    def _on_backlogged(self, flow: Flow) -> None:
+        target = self._assignment.get(flow.flow_id)
+        if target is not None:
+            self._inner[target].notify_backlogged(flow)
+
+    def select(self, interface_id: str) -> Optional[Packet]:
+        inner = self._inner.get(interface_id)
+        if inner is None:
+            raise SchedulingError(f"unknown interface {interface_id!r}")
+        return inner.next_packet()

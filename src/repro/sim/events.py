@@ -1,0 +1,107 @@
+"""Event and event-queue primitives for the discrete-event simulator.
+
+The queue is a binary heap ordered by ``(time, priority, sequence)``.
+The monotonically increasing sequence number guarantees FIFO order for
+events scheduled at the same instant with the same priority, which makes
+simulations deterministic regardless of heap tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+#: Default event priority. Lower numbers fire first at equal timestamps.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so they can live directly
+    in a heap. The callback and its arguments are excluded from
+    comparison.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped.
+
+        Cancellation is O(1); the event stays in the heap until its
+        timestamp is reached and is then discarded.
+        """
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback. The simulator calls this, not users."""
+        return self.callback(*self.args)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule *callback* at absolute *time* and return the event."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if empty.
+
+        Skips (and drops) cancelled events at the head of the heap so
+        the answer reflects the next event that will actually fire.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop() from an empty event queue")
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

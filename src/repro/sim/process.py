@@ -1,0 +1,101 @@
+"""Higher-level scheduling helpers built on :class:`Simulator`.
+
+These wrap the raw event API with the two patterns model code actually
+needs: one-shot timers that can be rescheduled, and periodic processes
+(used by samplers, capacity changers and traffic sources).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event
+from .simulator import Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start(delay)`` schedules the callback; starting an armed timer
+    re-arms it (the earlier expiry is cancelled). ``cancel()`` disarms.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """``True`` while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire after *delay* seconds."""
+        self.cancel()
+        self._event = self._sim.call_later(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicProcess:
+    """Invoke a callback every *period* seconds until stopped.
+
+    The callback receives the current virtual time. The first invocation
+    happens at ``start_time + period`` unless ``fire_immediately`` is
+    set, in which case it also fires at ``start_time``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[float], Any],
+        fire_immediately: bool = False,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._fire_immediately = fire_immediately
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """``True`` between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    def start(self) -> None:
+        """Begin ticking. Idempotent."""
+        if self._running:
+            return
+        self._running = True
+        if self._fire_immediately:
+            self._event = self._sim.call_now(self._tick)
+        else:
+            self._event = self._sim.call_later(self._period, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking. Idempotent."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback(self._sim.now)
+        if self._running:
+            self._event = self._sim.call_later(self._period, self._tick)

@@ -1,0 +1,153 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a virtual clock and an :class:`EventQueue`.
+Model components schedule callbacks with :meth:`Simulator.schedule` (at
+an absolute time) or :meth:`Simulator.call_later` (relative delay) and
+the main loop dispatches them in timestamp order.
+
+Design notes
+------------
+* The clock only moves forward; scheduling into the past raises
+  :class:`SimulationError` immediately rather than corrupting causality.
+* ``run(until=...)`` stops *after* processing every event with
+  ``time <= until`` and then sets the clock to ``until``, so rate
+  measurements over ``[0, until]`` are well defined.
+* The simulator is deliberately single-threaded. Determinism — given a
+  seed — is a core requirement for reproducing the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import DEFAULT_PRIORITY, Event, EventQueue
+
+
+class Simulator:
+    """A deterministic single-threaded discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far (for tests/diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule *callback(*args)* at absolute virtual *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule *callback(*args)* after a relative *delay* seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    def call_now(
+        self,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule *callback(*args)* at the current instant.
+
+        The callback runs after the currently executing event returns —
+        this is the standard trick for breaking deep recursion between
+        interacting components (e.g. interface -> scheduler -> interface).
+        """
+        return self._queue.push(self._now, callback, args, priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch a single event. Returns ``False`` if none remain."""
+        next_time = self._queue.peek_time()
+        if next_time is None:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once every event with ``time <= until`` has fired, then
+            set the clock to exactly *until*. ``None`` runs to exhaustion.
+        max_events:
+            Safety valve for tests; raises :class:`SimulationError` if
+            exceeded, which usually indicates a scheduling livelock.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until:.9f}, clock already at {self._now:.9f}"
+            )
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                dispatched += 1
+                if max_events is not None and dispatched > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely livelock"
+                    )
+        finally:
+            self._running = False
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes."""
+        self._stopped = True

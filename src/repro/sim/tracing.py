@@ -1,0 +1,72 @@
+"""Lightweight structured tracing for simulations.
+
+Components emit ``(time, source, kind, payload)`` records through a
+:class:`TraceLog`. Experiments attach a log to capture, e.g., every
+packet departure for post-hoc rate analysis, without the hot path paying
+for string formatting when tracing is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    source: str
+    kind: str
+    payload: Dict[str, Any]
+
+
+class TraceLog:
+    """An in-memory, filterable trace sink.
+
+    ``enabled`` can be toggled to make ``emit`` a no-op; subscribers can
+    additionally register live callbacks (used by streaming rate
+    estimators so they do not need to buffer the whole log).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke *callback* for every future record."""
+        self._subscribers.append(callback)
+
+    def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
+        """Record one trace event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time=time, source=source, kind=kind, payload=payload)
+        self._records.append(record)
+        for callback in self._subscribers:
+            callback(record)
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Return records, optionally filtered by kind and/or source."""
+        result = list(self._records)
+        if kind is not None:
+            result = [r for r in result if r.kind == kind]
+        if source is not None:
+            result = [r for r in result if r.source == source]
+        return result
+
+    def clear(self) -> None:
+        """Drop all buffered records (subscribers stay registered)."""
+        self._records.clear()

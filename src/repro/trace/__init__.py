@@ -1,0 +1,22 @@
+"""Smartphone workload model and concurrency analysis (Figure 7)."""
+
+from .concurrency import ConcurrencyStats, concurrency_stats
+from .smartphone import (
+    DEFAULT_APPS,
+    WEEK_SECONDS,
+    AppProfile,
+    DeviceTraceConfig,
+    FlowInterval,
+    SmartphoneTraceGenerator,
+)
+
+__all__ = [
+    "AppProfile",
+    "ConcurrencyStats",
+    "DEFAULT_APPS",
+    "DeviceTraceConfig",
+    "FlowInterval",
+    "SmartphoneTraceGenerator",
+    "WEEK_SECONDS",
+    "concurrency_stats",
+]

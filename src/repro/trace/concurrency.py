@@ -1,0 +1,90 @@
+"""Concurrency analysis of flow-interval traces (Figure 7).
+
+Given a list of :class:`~repro.trace.smartphone.FlowInterval`, compute
+the time-weighted distribution of the number of simultaneously open
+flows, restricted — as the paper does — to *active periods* ("when
+there is at least one ongoing flow").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .smartphone import FlowInterval
+
+
+@dataclass(frozen=True)
+class ConcurrencyStats:
+    """Time-weighted concurrency distribution over active periods."""
+
+    #: ``{concurrency_level: seconds spent at that level}`` for N ≥ 1.
+    time_at_level: Dict[int, float]
+
+    @property
+    def active_time(self) -> float:
+        """Total seconds with at least one ongoing flow."""
+        return sum(self.time_at_level.values())
+
+    @property
+    def max_concurrent(self) -> int:
+        """Largest concurrency level observed."""
+        return max(self.time_at_level) if self.time_at_level else 0
+
+    def fraction_at_least(self, level: int) -> float:
+        """P[N ≥ level | active] — the paper reports this for level 7."""
+        active = self.active_time
+        if active <= 0:
+            return 0.0
+        covered = sum(
+            seconds for n, seconds in self.time_at_level.items() if n >= level
+        )
+        return covered / active
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """``[(n, P[N ≤ n | active]), ...]`` for plotting Figure 7."""
+        active = self.active_time
+        if active <= 0:
+            return []
+        points = []
+        cumulative = 0.0
+        for level in range(1, self.max_concurrent + 1):
+            cumulative += self.time_at_level.get(level, 0.0)
+            points.append((level, cumulative / active))
+        return points
+
+    def quantile(self, q: float) -> int:
+        """Smallest n with P[N ≤ n | active] ≥ q."""
+        if not 0 < q <= 1:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        for level, probability in self.cdf():
+            if probability >= q - 1e-12:
+                return level
+        return self.max_concurrent
+
+
+def concurrency_stats(intervals: Sequence[FlowInterval]) -> ConcurrencyStats:
+    """Sweep-line computation of time spent at each concurrency level."""
+    if not intervals:
+        return ConcurrencyStats(time_at_level={})
+    events: List[Tuple[float, int]] = []
+    for interval in intervals:
+        events.append((interval.start, +1))
+        events.append((interval.end, -1))
+    # Ends sort before starts at equal timestamps so a back-to-back
+    # flow handoff does not spuriously count as concurrency 2.
+    events.sort(key=lambda item: (item[0], item[1]))
+    time_at_level: Dict[int, float] = {}
+    level = 0
+    previous_time = events[0][0]
+    for time, delta in events:
+        if time > previous_time and level >= 1:
+            time_at_level[level] = time_at_level.get(level, 0.0) + (
+                time - previous_time
+            )
+        previous_time = time
+        level += delta
+        if level < 0:
+            raise ConfigurationError("negative concurrency: overlapping end events")
+    return ConcurrencyStats(time_at_level=time_at_level)

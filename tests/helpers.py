@@ -1,0 +1,40 @@
+"""Shared test helpers (imported as ``from tests.helpers import ...``)."""
+
+from __future__ import annotations
+
+from repro.net.flow import Flow
+from repro.net.packet import Packet
+
+
+def make_flow(
+    flow_id: str = "f",
+    weight: float = 1.0,
+    interfaces=None,
+    backlog_packets: int = 0,
+    packet_size: int = 1500,
+) -> Flow:
+    """A flow, optionally pre-backlogged with fixed-size packets."""
+    flow = Flow(flow_id, weight=weight, allowed_interfaces=interfaces)
+    for _ in range(backlog_packets):
+        flow.offer(Packet(flow_id=flow_id, size_bytes=packet_size))
+    return flow
+
+
+def drain(scheduler, count: int):
+    """Pull up to *count* packets from a single-interface scheduler."""
+    packets = []
+    for _ in range(count):
+        packet = scheduler.next_packet()
+        if packet is None:
+            break
+        packets.append(packet)
+    return packets
+
+
+def service_share(packets, flow_id: str) -> float:
+    """Fraction of drained bytes belonging to *flow_id*."""
+    total = sum(p.size_bytes for p in packets)
+    if total == 0:
+        return 0.0
+    mine = sum(p.size_bytes for p in packets if p.flow_id == flow_id)
+    return mine / total

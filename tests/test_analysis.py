@@ -1,0 +1,185 @@
+"""Unit tests for the analysis toolkit."""
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.rates import EwmaRateEstimator, WindowedRateEstimator
+from repro.analysis.report import (
+    render_comparison,
+    render_rate_table,
+    render_series,
+    render_table,
+)
+from repro.analysis.timeseries import (
+    bin_events,
+    crossings,
+    moving_average,
+    series_mean,
+    settle_time,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBinEvents:
+    def test_basic_binning(self):
+        events = [(0.2, 10.0), (0.8, 10.0), (1.5, 5.0)]
+        series = bin_events(events, bin_width=1.0, end=2.0)
+        assert series == [(0.5, 20.0), (1.5, 5.0)]
+
+    def test_out_of_range_ignored(self):
+        series = bin_events([(5.0, 1.0)], bin_width=1.0, start=0.0, end=2.0)
+        assert series == [(0.5, 0.0), (1.5, 0.0)]
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            bin_events([], bin_width=0.0)
+
+    def test_empty_horizon(self):
+        assert bin_events([], bin_width=1.0) == []
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        series = [(0.0, 1.0), (1.0, 5.0)]
+        assert moving_average(series, 1) == series
+
+    def test_smoothing(self):
+        series = [(float(i), v) for i, v in enumerate([0, 10, 0, 10, 0])]
+        smoothed = moving_average(series, 3)
+        assert smoothed[2][1] == pytest.approx(20 / 3)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            moving_average([], 2)
+
+    def test_empty(self):
+        assert moving_average([], 3) == []
+
+
+class TestSeriesQueries:
+    def test_series_mean(self):
+        series = [(0.5, 2.0), (1.5, 4.0), (2.5, 9.0)]
+        assert series_mean(series, 0.0, 2.0) == 3.0
+
+    def test_series_mean_empty_window(self):
+        with pytest.raises(ConfigurationError):
+            series_mean([(0.5, 1.0)], 5.0, 6.0)
+
+    def test_crossings(self):
+        series = [(0.0, 0.0), (1.0, 10.0), (2.0, 0.0)]
+        points = crossings(series, 5.0)
+        assert points == [pytest.approx(0.5), pytest.approx(1.5)]
+
+    def test_settle_time(self):
+        series = [(0.0, 0.0), (1.0, 8.0), (2.0, 10.2), (3.0, 9.9), (4.0, 10.1)]
+        assert settle_time(series, 10.0, tolerance=0.5, hold=3) == 2.0
+
+    def test_settle_time_never(self):
+        series = [(0.0, 0.0), (1.0, 20.0)]
+        assert settle_time(series, 10.0, tolerance=1.0) is None
+
+    def test_settle_time_run_resets(self):
+        series = [(0.0, 10.0), (1.0, 10.0), (2.0, 0.0), (3.0, 10.0),
+                  (4.0, 10.0), (5.0, 10.0)]
+        assert settle_time(series, 10.0, tolerance=0.5, hold=3) == 3.0
+
+
+class TestEmpiricalCdf:
+    def test_basic_stats(self):
+        cdf = EmpiricalCdf([3.0, 1.0, 2.0])
+        assert cdf.min == 1.0
+        assert cdf.max == 3.0
+        assert len(cdf) == 3
+
+    def test_probability_at_most(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at_most(2.0) == 0.5
+        assert cdf.probability_at_most(0.5) == 0.0
+        assert cdf.probability_at_most(10.0) == 1.0
+
+    def test_quantiles(self):
+        cdf = EmpiricalCdf(list(range(1, 101)))
+        assert cdf.median() == 50
+        assert cdf.quantile(0.99) == 99
+        assert cdf.quantile(1.0) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([])
+
+    def test_points_monotone(self):
+        cdf = EmpiricalCdf([5.0, 1.0, 3.0, 2.0, 4.0])
+        points = cdf.points(num_points=5)
+        values = [v for v, _ in points]
+        probabilities = [p for _, p in points]
+        assert values == sorted(values)
+        assert probabilities == sorted(probabilities)
+
+    def test_ascii_plot_renders(self):
+        text = EmpiricalCdf([1.0, 2.0, 3.0]).ascii_plot()
+        assert "*" in text
+
+
+class TestRateEstimators:
+    def test_windowed_rate(self):
+        estimator = WindowedRateEstimator(window=2.0)
+        estimator.add(0.5, 250)
+        estimator.add(1.5, 250)
+        # 500 B over a 2 s window = 2000 b/s.
+        assert estimator.rate_bps(2.0) == pytest.approx(2000.0)
+
+    def test_windowed_eviction(self):
+        estimator = WindowedRateEstimator(window=1.0)
+        estimator.add(0.0, 1000)
+        estimator.add(5.0, 125)
+        assert estimator.rate_bps(5.0) == pytest.approx(1000.0)
+
+    def test_windowed_out_of_order_rejected(self):
+        estimator = WindowedRateEstimator(window=1.0)
+        estimator.add(1.0, 10)
+        with pytest.raises(ConfigurationError):
+            estimator.add(0.5, 10)
+
+    def test_ewma_converges(self):
+        estimator = EwmaRateEstimator(alpha=0.5)
+        for i in range(50):
+            estimator.add(i * 0.1, 125)  # 10 kbit/s steady
+        assert estimator.rate_bps == pytest.approx(10_000.0, rel=0.01)
+
+    def test_ewma_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            EwmaRateEstimator(alpha=0.0)
+
+
+class TestReports:
+    def test_render_table_alignment(self):
+        text = render_table(["col", "x"], [["value", 1], ["v", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_render_table_title(self):
+        text = render_table(["a"], [["b"]], title="Title")
+        assert text.splitlines()[0] == "Title"
+
+    def test_render_rate_table(self):
+        text = render_rate_table(
+            {"miDRR": {"a": 1e6}}, ["a"], title="rates"
+        )
+        assert "1.00 Mb/s" in text
+
+    def test_render_comparison(self):
+        text = render_comparison({"a": 0.95e6}, {"a": 1e6})
+        assert "5.0%" in text
+
+    def test_render_comparison_zero_reference(self):
+        text = render_comparison({"a": 0.0}, {"a": 0.0})
+        assert "-" in text
+
+    def test_render_series(self):
+        text = render_series([(0.0, 1.0), (1.0, 2.0)], label="rate")
+        assert "rate" in text
+        assert "#" in text
+
+    def test_render_series_empty(self):
+        assert "empty" in render_series([], label="x")

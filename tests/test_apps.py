@@ -1,0 +1,156 @@
+"""Tests for the conclusion applications (task pool, CPU affinity)."""
+
+import pytest
+
+from repro.apps.cpu_affinity import (
+    CpuScheduler,
+    ThreadSpec,
+    big_cores_of,
+    tegra_cores,
+)
+from repro.apps.taskpool import (
+    JobSpec,
+    MachineSpec,
+    TaskPool,
+    fair_shares,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpecs:
+    def test_machine_validation(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec("m", 0)
+
+    def test_job_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("j", weight=0)
+        with pytest.raises(ConfigurationError):
+            JobSpec("j", task_units=0)
+
+    def test_pool_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskPool([], [])
+        with pytest.raises(ConfigurationError):
+            TaskPool(
+                [MachineSpec("m", 100)],
+                [JobSpec("j"), JobSpec("j")],
+            )
+
+
+class TestFairShares:
+    def test_gpu_preference_example(self):
+        """The paper's "tasks might prefer only more powerful machines"."""
+        machines = [
+            MachineSpec("gpu", 1000.0),
+            MachineSpec("cpu", 400.0),
+        ]
+        jobs = [
+            JobSpec("training", weight=1.0, machines=("gpu",)),
+            JobSpec("etl", weight=1.0),
+        ]
+        allocation = fair_shares(machines, jobs)
+        # training confined to gpu: levels — J={gpu}: 1000; J=all:
+        # 1400/2 = 700 → both at 700.
+        assert allocation.rate("training") == pytest.approx(700.0)
+        assert allocation.rate("etl") == pytest.approx(700.0)
+
+    def test_weighted_jobs(self):
+        machines = [MachineSpec("m", 900.0)]
+        jobs = [JobSpec("a", weight=2.0), JobSpec("b", weight=1.0)]
+        allocation = fair_shares(machines, jobs)
+        assert allocation.rate("a") == pytest.approx(600.0)
+        assert allocation.rate("b") == pytest.approx(300.0)
+
+
+class TestTaskPoolRuns:
+    def test_throughput_matches_fluid(self):
+        machines = [MachineSpec("fast", 1000.0), MachineSpec("slow", 200.0)]
+        jobs = [
+            JobSpec("picky", machines=("fast",)),
+            JobSpec("flexible"),
+        ]
+        pool = TaskPool(machines, jobs)
+        result = pool.run(20.0)
+        allocation = fair_shares(machines, jobs)
+        for job in jobs:
+            assert result.throughput[job.job_id] == pytest.approx(
+                allocation.rate(job.job_id), rel=0.10
+            )
+
+    def test_machine_preference_respected(self):
+        machines = [MachineSpec("gpu", 500.0), MachineSpec("cpu", 500.0)]
+        jobs = [JobSpec("gpu_only", machines=("gpu",)), JobSpec("any")]
+        result = TaskPool(machines, jobs).run(10.0)
+        assert ("gpu_only", "cpu") not in result.placement
+
+    def test_finite_job_completes(self):
+        machines = [MachineSpec("m", 100.0)]
+        jobs = [JobSpec("batch", total_work=500)]
+        result = TaskPool(machines, jobs).run(20.0)
+        # 500 units at 100/s = 5 s.
+        assert result.completions["batch"] == pytest.approx(5.0, rel=0.05)
+
+    def test_invalid_duration(self):
+        pool = TaskPool([MachineSpec("m", 10.0)], [JobSpec("j")])
+        with pytest.raises(ConfigurationError):
+            pool.run(0.5, warmup=1.0)
+
+
+class TestCpuScheduler:
+    def test_tegra_topology(self):
+        cores = tegra_cores()
+        assert len(cores) == 5
+        assert big_cores_of(cores) == ("big0", "big1", "big2", "big3")
+        with pytest.raises(ConfigurationError):
+            tegra_cores(num_big=0)
+
+    def test_render_avoids_companion_core(self):
+        cores = tegra_cores()
+        threads = [
+            ThreadSpec("render", weight=2.0, affinity=big_cores_of(cores)),
+            ThreadSpec("background"),
+        ]
+        scheduler = CpuScheduler(cores, threads)
+        result = scheduler.run(10.0)
+        assert ("render", "companion") not in result.placement
+        assert result.throughput["render"] > 0
+
+    def test_all_cores_utilized_under_load(self):
+        cores = tegra_cores()
+        threads = [
+            ThreadSpec("render", weight=2.0, affinity=big_cores_of(cores)),
+            ThreadSpec("audio"),
+            ThreadSpec("background", weight=0.5),
+        ]
+        scheduler = CpuScheduler(cores, threads)
+        result = scheduler.run(10.0)
+        utilization = scheduler.core_utilization(result)
+        for core_id, used in utilization.items():
+            assert used > 0.95, f"{core_id} idle at {used:.2f}"
+
+    def test_measured_close_to_fluid(self):
+        cores = tegra_cores()
+        threads = [
+            ThreadSpec("render", weight=2.0, affinity=big_cores_of(cores)),
+            ThreadSpec("physics", weight=1.0, affinity=big_cores_of(cores)),
+            ThreadSpec("audio", weight=1.0),
+            ThreadSpec("background", weight=0.5),
+        ]
+        scheduler = CpuScheduler(cores, threads)
+        allocation = scheduler.fair_allocation()
+        result = scheduler.run(15.0)
+        for thread in threads:
+            assert result.throughput[thread.thread_id] == pytest.approx(
+                allocation.rate(thread.thread_id), rel=0.15
+            )
+
+
+class TestInboundIdealExperiment:
+    def test_ideal_is_exact_and_dominates_http(self):
+        from repro.experiments import inbound_ideal
+
+        result = inbound_ideal.run()
+        assert result.worst_deviation("ideal") < 0.02
+        assert result.worst_deviation("http") < 0.30
+        assert result.worst_deviation("ideal") < result.worst_deviation("http")

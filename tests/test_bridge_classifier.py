@@ -1,0 +1,109 @@
+"""Unit tests for packet classification."""
+
+import pytest
+
+from repro.bridge.classifier import FlowClassifier, MatchRule, parse_five_tuple
+from repro.errors import HeaderError
+from repro.net.addresses import Ipv4Address
+from repro.net.headers import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.net.packet import FiveTuple
+
+SRC = Ipv4Address.parse("10.0.0.1")
+DST = Ipv4Address.parse("8.8.8.8")
+
+
+def udp_packet(src_port=1234, dst_port=53, payload=b"q"):
+    udp = UdpHeader(src_port, dst_port, UdpHeader.LENGTH + len(payload))
+    total = Ipv4Header.LENGTH + UdpHeader.LENGTH + len(payload)
+    ip = Ipv4Header(src=SRC, dst=DST, protocol=IPPROTO_UDP, total_length=total)
+    return ip.pack() + udp.pack(SRC, DST, payload) + payload
+
+
+def tcp_packet(src_port=40000, dst_port=443, payload=b""):
+    tcp = TcpHeader(src_port, dst_port)
+    total = Ipv4Header.LENGTH + TcpHeader.LENGTH + len(payload)
+    ip = Ipv4Header(src=SRC, dst=DST, protocol=IPPROTO_TCP, total_length=total)
+    return ip.pack() + tcp.pack(SRC, DST, payload) + payload
+
+
+class TestParseFiveTuple:
+    def test_udp(self):
+        five_tuple, header = parse_five_tuple(udp_packet())
+        assert five_tuple.src == SRC
+        assert five_tuple.dst == DST
+        assert five_tuple.src_port == 1234
+        assert five_tuple.dst_port == 53
+        assert five_tuple.protocol == IPPROTO_UDP
+        assert header.protocol == IPPROTO_UDP
+
+    def test_tcp(self):
+        five_tuple, _ = parse_five_tuple(tcp_packet())
+        assert five_tuple.dst_port == 443
+        assert five_tuple.protocol == IPPROTO_TCP
+
+    def test_non_transport_rejected(self):
+        ip = Ipv4Header(src=SRC, dst=DST, protocol=1, total_length=20)  # ICMP
+        with pytest.raises(HeaderError, match="classify"):
+            parse_five_tuple(ip.pack())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(HeaderError):
+            parse_five_tuple(b"\x00" * 40)
+
+
+class TestMatchRule:
+    def _tuple(self):
+        return parse_five_tuple(tcp_packet())[0]
+
+    def test_wildcard_rule_matches_everything(self):
+        assert MatchRule(flow_id="x").matches(self._tuple())
+
+    def test_port_match(self):
+        assert MatchRule(flow_id="x", dst_port=443).matches(self._tuple())
+        assert not MatchRule(flow_id="x", dst_port=80).matches(self._tuple())
+
+    def test_address_match(self):
+        assert MatchRule(flow_id="x", dst=DST).matches(self._tuple())
+        other = Ipv4Address.parse("1.1.1.1")
+        assert not MatchRule(flow_id="x", dst=other).matches(self._tuple())
+
+    def test_protocol_match(self):
+        assert MatchRule(flow_id="x", protocol=IPPROTO_TCP).matches(self._tuple())
+        assert not MatchRule(flow_id="x", protocol=IPPROTO_UDP).matches(self._tuple())
+
+
+class TestFlowClassifier:
+    def test_first_match_wins(self):
+        classifier = FlowClassifier()
+        classifier.add_rule(MatchRule(flow_id="specific", dst_port=443))
+        classifier.add_rule(MatchRule(flow_id="catchall"))
+        assert classifier.classify_packet(tcp_packet()) == "specific"
+        assert classifier.classify_packet(udp_packet()) == "catchall"
+
+    def test_default_flow(self):
+        classifier = FlowClassifier(default_flow_id="default")
+        assert classifier.classify_packet(udp_packet()) == "default"
+
+    def test_no_match_no_default(self):
+        classifier = FlowClassifier()
+        classifier.add_rule(MatchRule(flow_id="web", dst_port=80))
+        assert classifier.classify_packet(tcp_packet()) is None
+
+    def test_cache_consistency_after_rule_change(self):
+        classifier = FlowClassifier()
+        five_tuple = parse_five_tuple(tcp_packet())[0]
+        assert classifier.classify(five_tuple) is None
+        classifier.add_rule(MatchRule(flow_id="web", dst_port=443))
+        # The cache must be invalidated by add_rule.
+        assert classifier.classify(five_tuple) == "web"
+
+    def test_len(self):
+        classifier = FlowClassifier()
+        classifier.add_rule(MatchRule(flow_id="a"))
+        assert len(classifier) == 1

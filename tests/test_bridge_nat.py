@@ -1,0 +1,148 @@
+"""Unit tests for NAT header rewriting."""
+
+import pytest
+
+from repro.bridge.classifier import parse_five_tuple
+from repro.bridge.nat import NatTable, rewrite_inbound, rewrite_outbound
+from repro.errors import HeaderError
+from repro.net.addresses import Ipv4Address
+from repro.net.headers import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+
+VIRTUAL = Ipv4Address.parse("10.0.0.1")
+WIFI = Ipv4Address.parse("192.168.1.5")
+SERVER = Ipv4Address.parse("8.8.8.8")
+
+
+def udp_packet(src=VIRTUAL, dst=SERVER, src_port=4000, dst_port=53, payload=b"hello"):
+    udp = UdpHeader(src_port, dst_port, UdpHeader.LENGTH + len(payload))
+    total = Ipv4Header.LENGTH + UdpHeader.LENGTH + len(payload)
+    ip = Ipv4Header(src=src, dst=dst, protocol=IPPROTO_UDP, total_length=total)
+    return ip.pack() + udp.pack(src, dst, payload) + payload
+
+
+def tcp_packet(src=VIRTUAL, dst=SERVER, src_port=4000, dst_port=80, payload=b"GET"):
+    tcp = TcpHeader(src_port, dst_port, seq=99)
+    total = Ipv4Header.LENGTH + TcpHeader.LENGTH + len(payload)
+    ip = Ipv4Header(src=src, dst=dst, protocol=IPPROTO_TCP, total_length=total)
+    return ip.pack() + tcp.pack(src, dst, payload) + payload
+
+
+class TestNatTable:
+    def test_binding_is_stable(self):
+        table = NatTable(VIRTUAL)
+        five_tuple = parse_five_tuple(udp_packet())[0]
+        first = table.bind(five_tuple, "wifi", WIFI)
+        second = table.bind(five_tuple, "wifi", WIFI)
+        assert first is second
+
+    def test_distinct_interfaces_distinct_ports(self):
+        table = NatTable(VIRTUAL)
+        five_tuple = parse_five_tuple(udp_packet())[0]
+        lte = Ipv4Address.parse("100.64.0.1")
+        wifi_binding = table.bind(five_tuple, "wifi", WIFI)
+        lte_binding = table.bind(five_tuple, "lte", lte)
+        assert wifi_binding.translated.src_port != lte_binding.translated.src_port
+        assert wifi_binding.translated.src == WIFI
+        assert lte_binding.translated.src == lte
+
+    def test_return_lookup(self):
+        table = NatTable(VIRTUAL)
+        five_tuple = parse_five_tuple(udp_packet())[0]
+        binding = table.bind(five_tuple, "wifi", WIFI)
+        inbound = binding.translated.reversed()
+        assert table.lookup_return(inbound) is binding
+
+    def test_unknown_return_is_none(self):
+        table = NatTable(VIRTUAL)
+        five_tuple = parse_five_tuple(udp_packet())[0]
+        assert table.lookup_return(five_tuple.reversed()) is None
+
+    def test_len(self):
+        table = NatTable(VIRTUAL)
+        table.bind(parse_five_tuple(udp_packet())[0], "wifi", WIFI)
+        assert len(table) == 1
+
+
+class TestOutboundRewrite:
+    @pytest.mark.parametrize("builder", [udp_packet, tcp_packet])
+    def test_rewrites_source_and_checksums(self, builder):
+        table = NatTable(VIRTUAL)
+        original = builder()
+        five_tuple = parse_five_tuple(original)[0]
+        binding = table.bind(five_tuple, "wifi", WIFI)
+        rewritten = rewrite_outbound(original, binding)
+        new_tuple, new_ip = parse_five_tuple(rewritten)
+        assert new_tuple.src == WIFI
+        assert new_tuple.src_port == binding.translated.src_port
+        assert new_tuple.dst == SERVER
+        # Ipv4Header.unpack inside parse validated the IP checksum;
+        # verify the transport checksum explicitly.
+        payload = rewritten[Ipv4Header.LENGTH:]
+        if new_ip.protocol == IPPROTO_UDP:
+            transport = UdpHeader.unpack(payload)
+            body = payload[UdpHeader.LENGTH:]
+        else:
+            transport = TcpHeader.unpack(payload)
+            body = payload[TcpHeader.LENGTH:]
+        assert transport.verify(new_ip.src, new_ip.dst, body)
+
+    def test_payload_preserved(self):
+        table = NatTable(VIRTUAL)
+        original = udp_packet(payload=b"precious data")
+        binding = table.bind(parse_five_tuple(original)[0], "wifi", WIFI)
+        rewritten = rewrite_outbound(original, binding)
+        assert rewritten.endswith(b"precious data")
+
+    def test_tcp_fields_preserved(self):
+        table = NatTable(VIRTUAL)
+        original = tcp_packet()
+        binding = table.bind(parse_five_tuple(original)[0], "wifi", WIFI)
+        rewritten = rewrite_outbound(original, binding)
+        tcp = TcpHeader.unpack(rewritten[Ipv4Header.LENGTH:])
+        assert tcp.seq == 99
+
+    def test_mismatched_binding_rejected(self):
+        table = NatTable(VIRTUAL)
+        binding = table.bind(parse_five_tuple(udp_packet())[0], "wifi", WIFI)
+        other = udp_packet(src_port=5555)
+        with pytest.raises(HeaderError):
+            rewrite_outbound(other, binding)
+
+
+class TestInboundRewrite:
+    def test_full_roundtrip(self):
+        """Outbound rewrite → server reply → inbound rewrite."""
+        table = NatTable(VIRTUAL)
+        outbound = udp_packet(payload=b"ping")
+        binding = table.bind(parse_five_tuple(outbound)[0], "wifi", WIFI)
+        on_wire = rewrite_outbound(outbound, binding)
+        wire_tuple = parse_five_tuple(on_wire)[0]
+
+        # The server replies by swapping the tuple it saw.
+        reply = udp_packet(
+            src=wire_tuple.dst,
+            dst=wire_tuple.src,
+            src_port=wire_tuple.dst_port,
+            dst_port=wire_tuple.src_port,
+            payload=b"pong",
+        )
+        found = table.lookup_return(parse_five_tuple(reply)[0])
+        assert found is binding
+        delivered = rewrite_inbound(reply, binding, VIRTUAL)
+        delivered_tuple = parse_five_tuple(delivered)[0]
+        assert delivered_tuple.dst == VIRTUAL
+        assert delivered_tuple.dst_port == 4000  # original app port
+        assert delivered.endswith(b"pong")
+
+    def test_wrong_packet_rejected(self):
+        table = NatTable(VIRTUAL)
+        binding = table.bind(parse_five_tuple(udp_packet())[0], "wifi", WIFI)
+        unrelated = udp_packet(src=SERVER, dst=WIFI, src_port=1, dst_port=2)
+        with pytest.raises(HeaderError):
+            rewrite_inbound(unrelated, binding, VIRTUAL)

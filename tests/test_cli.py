@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("fig1", "fig6", "fig7", "fig9", "fig10", "all"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_fig6_zoom_flag(self):
+        args = build_parser().parse_args(["fig6", "--zoom"])
+        assert args.zoom is True
+
+    def test_fig7_seed(self):
+        args = build_parser().parse_args(["fig7", "--seed", "9"])
+        assert args.seed == 9
+
+
+class TestSolveCommand:
+    def test_solve_prints_allocation(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--interface", "if1=3e6",
+                "--interface", "if2=10e6",
+                "--flow", "a:1:if1",
+                "--flow", "b:2:*",
+                "--flow", "c:1:if2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "3.00 Mb/s" in out
+        assert "6.67 Mb/s" in out
+        assert "3.33 Mb/s" in out
+
+    def test_solve_rejects_malformed_interface(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--interface", "if1", "--flow", "a:1:*"])
+
+    def test_solve_rejects_malformed_flow(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--interface", "if1=1e6", "--flow", "a"])
+
+    def test_solve_reports_library_errors(self, capsys):
+        exit_code = main(
+            ["solve", "--interface", "if1=1e6", "--flow", "a:1:zzz"]
+        )
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigureCommands:
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1c" in out
+        assert "miDRR" in out
+
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "P[N ≥ 7 | active]" in out
+        assert "35" in out
+
+    def test_fig9_runs(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "interfaces" in out
+        assert "16" in out
+
+
+class TestIdealCommand:
+    def test_ideal_runs(self, capsys):
+        assert main(["ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal proxy" in out
+        assert "worst deviation" in out
+
+
+class TestRunCommand:
+    def _write_scenario(self, tmp_path):
+        import json
+
+        from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario
+        from repro.units import mbps
+
+        scenario = Scenario(
+            name="clirun",
+            interfaces=(
+                InterfaceSpec("if1", mbps(1)),
+                InterfaceSpec("if2", mbps(1)),
+            ),
+            flows=(FlowSpec("a"), FlowSpec("b", interfaces=("if2",))),
+            duration=15.0,
+        )
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario.to_dict()))
+        return path
+
+    def test_run_with_midrr(self, capsys, tmp_path):
+        path = self._write_scenario(tmp_path)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clirun" in out
+        assert "0.0%" in out  # miDRR matches the reference
+
+    def test_run_with_baseline(self, capsys, tmp_path):
+        path = self._write_scenario(tmp_path)
+        assert main(["run", str(path), "--scheduler", "wfq"]) == 0
+        out = capsys.readouterr().out
+        assert "50.0%" in out  # the classical failure shows up
+
+    def test_unknown_scheduler_rejected(self, tmp_path):
+        path = self._write_scenario(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["run", str(path), "--scheduler", "nope"])
+
+
+class TestFctCommand:
+    def test_fct_runs(self, capsys):
+        assert main(["fct", "--light"]) == 0
+        out = capsys.readouterr().out
+        assert "flow completion times" in out
+        assert "median FCT" in out

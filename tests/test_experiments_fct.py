@@ -1,0 +1,94 @@
+"""Tests for the trace-driven FCT extension experiment."""
+
+import pytest
+
+from repro.experiments import fct
+
+
+class TestWorkloadBuilder:
+    def test_deterministic(self):
+        first = fct.build_workload(seed=3)
+        second = fct.build_workload(seed=3)
+        assert first == second
+
+    def test_seed_changes_workload(self):
+        assert fct.build_workload(seed=1) != fct.build_workload(seed=2)
+
+    def test_flow_count_respected(self):
+        scenario = fct.build_workload(seed=0, max_flows=20)
+        assert len(scenario.flows) == 20
+
+    def test_elephant_added_on_request(self):
+        scenario = fct.build_workload(seed=0, with_elephant=True)
+        assert any(spec.flow_id == "elephant" for spec in scenario.flows)
+        plain = fct.build_workload(seed=0, with_elephant=False)
+        assert not any(spec.flow_id == "elephant" for spec in plain.flows)
+
+    def test_preference_mix_present(self):
+        scenario = fct.build_workload(seed=0)
+        willing_sets = {spec.interfaces for spec in scenario.flows}
+        assert ("wifi",) in willing_sets
+        assert None in willing_sets
+
+    def test_all_transfers_finite(self):
+        scenario = fct.build_workload(seed=0)
+        for spec in scenario.flows:
+            assert spec.traffic.total_bytes is not None
+            assert spec.traffic.total_bytes >= 1500
+
+    def test_arrivals_within_horizon(self):
+        scenario = fct.build_workload(seed=0)
+        assert all(spec.start_time < fct.DURATION for spec in scenario.flows)
+
+
+class TestFctRun:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fct.run(seed=1, max_flows=40, with_elephant=True)
+
+    def test_every_scheduler_ran(self, results):
+        assert set(results) == set(fct.SCHEDULERS)
+
+    def test_midrr_completes_everything(self, results):
+        assert results["miDRR"].completion_fraction() == 1.0
+
+    def test_elephant_excluded_from_fct(self, results):
+        for result in results.values():
+            assert "elephant" not in result.completion_times
+
+    def test_fct_statistics_consistent(self, results):
+        for result in results.values():
+            if result.completed == 0:
+                continue
+            assert result.median() <= result.p90()
+            assert all(value > 0 for value in result.completion_times.values())
+
+    def test_midrr_not_dominated(self, results):
+        midrr = results["miDRR"]
+        for label, result in results.items():
+            assert result.completed <= midrr.completed, label
+
+
+class TestTransferSizes:
+    def test_lognormal_sizes_by_app(self):
+        import random
+
+        from repro.trace.smartphone import APP_MEDIAN_BYTES, FlowInterval
+
+        rng = random.Random(0)
+        video = FlowInterval(0.0, 10.0, "video")
+        sizes = [video.transfer_bytes(rng) for _ in range(300)]
+        assert min(sizes) >= 1500
+        # Median lands within a factor ~2 of the configured median.
+        sizes.sort()
+        median = sizes[len(sizes) // 2]
+        target = APP_MEDIAN_BYTES["video"]
+        assert target / 2 < median < target * 2
+
+    def test_unknown_app_uses_default(self):
+        import random
+
+        from repro.trace.smartphone import FlowInterval
+
+        size = FlowInterval(0.0, 1.0, "mystery").transfer_bytes(random.Random(1))
+        assert size >= 1500

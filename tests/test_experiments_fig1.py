@@ -1,0 +1,79 @@
+"""E1 — Figure 1: the paper's motivating allocations, asserted."""
+
+import pytest
+
+from repro.experiments import fig1
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+from repro.units import mbps
+
+
+class TestFig1a:
+    def test_single_interface_all_equal(self):
+        scenario = fig1.scenario_a()
+        for factory in (MiDrrScheduler, PerInterfaceScheduler.wfq):
+            rates = fig1.measured_rates(scenario, factory)
+            assert rates["a"] == pytest.approx(mbps(1), rel=0.03)
+            assert rates["b"] == pytest.approx(mbps(1), rel=0.03)
+
+
+class TestFig1b:
+    def test_no_preferences_everyone_fair(self):
+        scenario = fig1.scenario_b()
+        for factory in (
+            MiDrrScheduler,
+            PerInterfaceScheduler.wfq,
+            PerInterfaceScheduler.drr,
+            StaticSplitScheduler,
+        ):
+            rates = fig1.measured_rates(scenario, factory)
+            assert rates["a"] == pytest.approx(mbps(1), rel=0.05)
+            assert rates["b"] == pytest.approx(mbps(1), rel=0.05)
+
+
+class TestFig1c:
+    """The headline comparison: baselines fail, miDRR succeeds."""
+
+    def test_per_interface_wfq_gives_unfair_split(self):
+        rates = fig1.measured_rates(fig1.scenario_c(), PerInterfaceScheduler.wfq)
+        assert rates["a"] == pytest.approx(mbps(1.5), rel=0.05)
+        assert rates["b"] == pytest.approx(mbps(0.5), rel=0.05)
+
+    def test_per_interface_drr_gives_unfair_split(self):
+        rates = fig1.measured_rates(fig1.scenario_c(), PerInterfaceScheduler.drr)
+        assert rates["a"] == pytest.approx(mbps(1.5), rel=0.05)
+        assert rates["b"] == pytest.approx(mbps(0.5), rel=0.05)
+
+    def test_midrr_gives_maxmin_split(self):
+        rates = fig1.measured_rates(fig1.scenario_c(), MiDrrScheduler)
+        assert rates["a"] == pytest.approx(mbps(1.0), rel=0.03)
+        assert rates["b"] == pytest.approx(mbps(1.0), rel=0.03)
+
+    def test_fluid_reference_matches_paper(self):
+        allocation = fig1.fluid_reference(fig1.scenario_c())
+        assert allocation.rate("a") == pytest.approx(mbps(1))
+        assert allocation.rate("b") == pytest.approx(mbps(1))
+
+
+class TestFig1cWeighted:
+    def test_infeasible_rate_preference_not_wasteful(self):
+        """§1: φ_b = 2φ_a, but b is capped; a gets the leftovers."""
+        rates = fig1.measured_rates(fig1.scenario_c_weighted(), MiDrrScheduler)
+        assert rates["a"] == pytest.approx(mbps(1.0), rel=0.03)
+        assert rates["b"] == pytest.approx(mbps(1.0), rel=0.03)
+
+    def test_total_capacity_used(self):
+        rates = fig1.measured_rates(fig1.scenario_c_weighted(), MiDrrScheduler)
+        assert sum(rates.values()) == pytest.approx(mbps(2.0), rel=0.03)
+
+
+class TestExpectations:
+    def test_paper_expectation_table_is_consistent(self):
+        """Our recorded paper numbers agree with the fluid solver."""
+        for name, by_scheduler in fig1.PAPER_EXPECTATIONS.items():
+            if "miDRR" not in by_scheduler:
+                continue
+            scenario = fig1.ALL_SCENARIOS[name]()
+            reference = fig1.fluid_reference(scenario)
+            for flow_id, value in by_scheduler["miDRR"].items():
+                assert reference.rate(flow_id) == pytest.approx(value, rel=0.01)

@@ -1,0 +1,117 @@
+"""E4/E6/E7/E8 — Figures 7, 9, 10, 11: asserted paper claims."""
+
+import pytest
+
+from repro.experiments import fig7, fig9, fig10
+
+
+class TestFig7:
+    def test_published_statistics_reproduced(self):
+        result = fig7.run(seed=0)
+        # Paper: "10% of the time, we have 7 or more ongoing flows".
+        assert result.fraction_7_or_more == pytest.approx(
+            fig7.PAPER_FRACTION_7_OR_MORE, abs=0.04
+        )
+        # Paper: "the maximum number of concurrent flows hit ... 35".
+        assert 30 <= result.max_concurrent <= fig7.PAPER_MAX_CONCURRENT
+
+    def test_cdf_shape(self):
+        result = fig7.run(seed=0)
+        cdf = dict(result.cdf())
+        # Most active time is spent at low concurrency.
+        assert cdf[1] > 0.3
+        assert cdf[6] == pytest.approx(1 - result.fraction_7_or_more, abs=1e-9)
+
+    def test_different_seeds_stay_calibrated(self):
+        for seed in (7, 42):
+            result = fig7.run(seed=seed)
+            assert 0.05 < result.fraction_7_or_more < 0.16
+
+
+class TestFig9:
+    def test_decision_time_grows_with_interfaces(self):
+        """Paper: more interfaces → more set flags → longer search."""
+        results = fig9.run(interface_counts=(4, 16), num_flows=64)
+        assert (
+            results[16].mean_flows_examined()
+            > results[4].mean_flows_examined()
+        )
+
+    def test_decision_time_independent_of_flow_count(self):
+        """Paper: scheduling time does not grow through the flow list."""
+        sweep = fig9.flow_count_sweep(flow_counts=(16, 256), num_interfaces=8)
+        examined_small = sweep[16].mean_flows_examined()
+        examined_large = sweep[256].mean_flows_examined()
+        # 16× more flows must NOT mean 16× more work; allow 2×.
+        assert examined_large < 2.5 * max(examined_small, 1.0)
+
+    def test_decisions_are_fast(self):
+        """Sanity bound: a Python decision stays well under 1 ms."""
+        result = fig9.measure(8, num_flows=64, packets=500)
+        assert result.median_us() < 1000.0
+
+    def test_samples_counted(self):
+        result = fig9.measure(4, num_flows=16, packets=300)
+        assert len(result.decision_ns) == 300
+        assert len(result.flows_examined) == 300
+
+    def test_invalid_params(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fig9.measure(0)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run()
+
+    def test_content_integrity(self, result):
+        """Spliced bodies must match the origin bytes exactly."""
+        assert result.integrity_failures() == 0
+        assert all(
+            d.downloads_completed > 0 for d in result.downloaders.values()
+        )
+
+    def test_flow_b_tracks_faster_interface(self, result):
+        """The paper's headline: b always matches the faster flow."""
+        for phase in fig10.CAPACITY_PHASES:
+            start, end, _, _ = phase
+            expected = fig10.expected_rates(phase)
+            measured_b = result.goodput("b", start + 2, end - 0.5)
+            assert measured_b == pytest.approx(expected["b"], rel=0.20), (
+                f"phase {phase}: b={measured_b}"
+            )
+
+    def test_pinned_flows_track_their_interface(self, result):
+        for phase in fig10.CAPACITY_PHASES:
+            start, end, _, _ = phase
+            expected = fig10.expected_rates(phase)
+            for flow_id in ("a", "c"):
+                measured = result.goodput(flow_id, start + 2, end - 0.5)
+                assert measured == pytest.approx(
+                    expected[flow_id], rel=0.25
+                ), f"phase {phase}: {flow_id}={measured}"
+
+    def test_figure_11_cluster_flip(self, result):
+        """b clusters with if1's flow when if1 is faster, and vice versa."""
+        phase1 = result.clusters(3, 10)  # if1 faster
+        cluster_of_b = next(c for c in phase1 if "b" in c.flows)
+        assert "a" in cluster_of_b.flows
+        assert "c" not in cluster_of_b.flows
+
+        phase2 = result.clusters(12, 18)  # if2 faster
+        cluster_of_b = next(c for c in phase2 if "b" in c.flows)
+        assert "c" in cluster_of_b.flows
+        assert "a" not in cluster_of_b.flows
+
+    def test_total_goodput_tracks_capacity(self, result):
+        from repro.units import mbps
+
+        for start, end, rate1, rate2 in fig10.CAPACITY_PHASES:
+            total = sum(
+                result.goodput(f, start + 2, end - 0.5) for f in ("a", "b", "c")
+            )
+            # Within 15 % of raw capacity (request overhead + RTT gaps).
+            assert total == pytest.approx(mbps(rate1 + rate2), rel=0.15)

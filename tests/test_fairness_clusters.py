@@ -1,0 +1,148 @@
+"""Unit tests for empirical cluster extraction and validation."""
+
+import pytest
+
+from repro.errors import FairnessError
+from repro.fairness.clusters import (
+    EmpiricalCluster,
+    check_maxmin_conditions,
+    check_rate_clustering,
+    extract_clusters,
+)
+from repro.prefs.preferences import PreferenceSet
+
+
+def fig6_service_matrix(window=10.0):
+    """A synthetic r_ij matrix matching Figure 6 phase 1."""
+    # a: 3 Mb/s on if1; b: 6.67 on if2; c: 3.33 on if2 (bytes = r·t/8).
+    return {
+        ("a", "if1"): 3e6 * window / 8,
+        ("b", "if2"): (20e6 / 3) * window / 8,
+        ("c", "if2"): (10e6 / 3) * window / 8,
+    }
+
+
+def fig6_prefs():
+    prefs = PreferenceSet(["if1", "if2"])
+    prefs.add_flow("a", weight=1.0, interfaces=["if1"])
+    prefs.add_flow("b", weight=2.0)
+    prefs.add_flow("c", weight=1.0, interfaces=["if2"])
+    return prefs
+
+
+WEIGHTS = {"a": 1.0, "b": 2.0, "c": 1.0}
+
+
+class TestExtractClusters:
+    def test_figure_6_clusters_recovered(self):
+        clusters = extract_clusters(fig6_service_matrix(), WEIGHTS, window=10.0)
+        assert len(clusters) == 2
+        low, high = clusters
+        assert low.flows == frozenset({"a"})
+        assert low.interfaces == frozenset({"if1"})
+        assert low.normalized_rate == pytest.approx(3e6)
+        assert high.flows == frozenset({"b", "c"})
+        assert high.normalized_rate == pytest.approx(10e6 / 3)
+
+    def test_noise_edges_filtered(self):
+        matrix = fig6_service_matrix()
+        # 1 % of b's service leaked onto if1 during a transient: the
+        # default 5 % threshold must ignore it, keeping clusters apart.
+        matrix[("b", "if1")] = 0.01 * matrix[("b", "if2")]
+        clusters = extract_clusters(matrix, WEIGHTS, window=10.0)
+        assert len(clusters) == 2
+
+    def test_substantial_edge_merges_clusters(self):
+        matrix = fig6_service_matrix()
+        matrix[("b", "if1")] = 0.5 * matrix[("b", "if2")]
+        clusters = extract_clusters(matrix, WEIGHTS, window=10.0)
+        assert len(clusters) == 1
+
+    def test_flow_with_no_service_still_reported(self):
+        matrix = {("a", "if1"): 1000.0, ("b", "if1"): 0.0}
+        clusters = extract_clusters(matrix, {"a": 1.0, "b": 1.0}, window=1.0)
+        flows = set().union(*(c.flows for c in clusters))
+        assert flows == {"a", "b"}
+
+    def test_invalid_window(self):
+        with pytest.raises(FairnessError):
+            extract_clusters({}, {}, window=0.0)
+
+    def test_describe(self):
+        cluster = EmpiricalCluster(
+            flows=frozenset({"a"}),
+            interfaces=frozenset({"if1"}),
+            normalized_rate=3e6,
+        )
+        text = cluster.describe(WEIGHTS)
+        assert "a" in text and "if1" in text and "3.00" in text
+
+
+class TestCheckRateClustering:
+    def test_valid_clustering_passes(self):
+        clusters = extract_clusters(fig6_service_matrix(), WEIGHTS, window=10.0)
+        assert check_rate_clustering(clusters, fig6_prefs()) == []
+
+    def test_violation_detected(self):
+        # Flow c sits at a lower rate than a cluster it could reach.
+        clusters = [
+            EmpiricalCluster(
+                flows=frozenset({"c"}),
+                interfaces=frozenset({"if2"}),
+                normalized_rate=1e6,
+            ),
+            EmpiricalCluster(
+                flows=frozenset({"b"}),
+                interfaces=frozenset({"if1"}),
+                normalized_rate=5e6,
+            ),
+        ]
+        prefs = PreferenceSet(["if1", "if2"])
+        prefs.add_flow("b", weight=2.0)
+        prefs.add_flow("c", weight=1.0)  # willing to use if1 too!
+        violations = check_rate_clustering(clusters, prefs)
+        assert violations
+        assert any("'c'" in v for v in violations)
+
+    def test_overlapping_clusters_detected(self):
+        clusters = [
+            EmpiricalCluster(frozenset({"a"}), frozenset({"if1"}), 1e6),
+            EmpiricalCluster(frozenset({"a"}), frozenset({"if2"}), 2e6),
+        ]
+        prefs = PreferenceSet(["if1", "if2"])
+        prefs.add_flow("a")
+        violations = check_rate_clustering(clusters, prefs)
+        assert any("two clusters" in v for v in violations)
+
+
+class TestCheckMaxminConditions:
+    def test_fair_matrix_passes(self):
+        violations = check_maxmin_conditions(
+            fig6_service_matrix(), WEIGHTS, fig6_prefs(), window=10.0
+        )
+        assert violations == []
+
+    def test_condition1_violation(self):
+        # Two flows active on if2 at different normalized rates.
+        matrix = fig6_service_matrix()
+        matrix[("c", "if2")] *= 0.5
+        violations = check_maxmin_conditions(
+            matrix, WEIGHTS, fig6_prefs(), window=10.0
+        )
+        assert any("active flows" in v for v in violations)
+
+    def test_condition2_violation(self):
+        # Flow b willing to use if1 but at a *lower* rate than a.
+        matrix = {
+            ("a", "if1"): 3e6 * 10 / 8,
+            ("b", "if2"): 1e6 * 10 / 8,  # normalized 0.5 < a's 3.0
+            ("c", "if2"): 1e6 * 10 / 8,
+        }
+        violations = check_maxmin_conditions(
+            matrix, WEIGHTS, fig6_prefs(), window=10.0
+        )
+        assert any("shuns" in v for v in violations)
+
+    def test_invalid_window(self):
+        with pytest.raises(FairnessError):
+            check_maxmin_conditions({}, {}, fig6_prefs(), window=-1.0)

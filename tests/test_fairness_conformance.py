@@ -1,0 +1,89 @@
+"""The §2 property battery, graded across every scheduler."""
+
+import pytest
+
+from repro.fairness.conformance import (
+    PropertyResult,
+    check_interface_preferences,
+    check_new_capacity,
+    check_rate_preferences,
+    check_work_conservation,
+    run_conformance,
+)
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+
+
+class TestMiDrrConformance:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_conformance(MiDrrScheduler, label="miDRR")
+
+    def test_passes_everything(self, report):
+        assert report.passed, report.summary()
+
+    def test_all_four_properties_checked(self, report):
+        names = [result.name for result in report.results]
+        assert names == [
+            "interface preferences",
+            "work conservation",
+            "rate preferences",
+            "use new capacity",
+        ]
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "miDRR" in text
+        assert text.count("[PASS]") == 4
+
+    def test_counter_variant_also_passes(self):
+        report = run_conformance(
+            lambda: MiDrrScheduler(exclusion="counter"), label="miDRR-counter"
+        )
+        assert report.passed, report.summary()
+
+
+class TestBaselineConformance:
+    """The baselines fail exactly where the paper says they do."""
+
+    def test_per_interface_wfq_fails_rate_preferences_only(self):
+        report = run_conformance(PerInterfaceScheduler.wfq, label="per-if WFQ")
+        failures = {result.name for result in report.failures()}
+        assert "rate preferences" in failures
+        # But it honours Π and wastes nothing — as the paper notes.
+        assert "interface preferences" not in failures
+        assert "work conservation" not in failures
+
+    def test_per_interface_drr_fails_rate_preferences(self):
+        report = run_conformance(PerInterfaceScheduler.drr, label="per-if DRR")
+        failures = {result.name for result in report.failures()}
+        assert "rate preferences" in failures
+        assert "interface preferences" not in failures
+
+    def test_static_split_fails_capacity_use(self):
+        """Pinning flows cannot aggregate interfaces after a departure."""
+        report = run_conformance(StaticSplitScheduler, label="static split")
+        failures = {result.name for result in report.failures()}
+        # The stayer stays pinned to one interface: both the post-
+        # departure and post-step targets are unreachable.
+        assert "use new capacity" in failures
+
+
+class TestIndividualChecks:
+    def test_results_carry_detail(self):
+        result = check_interface_preferences(MiDrrScheduler)
+        assert isinstance(result, PropertyResult)
+        assert result.detail
+
+    def test_rate_check_quantifies_error(self):
+        result = check_rate_preferences(PerInterfaceScheduler.wfq)
+        assert not result.passed
+        assert "%" in result.detail
+
+    def test_work_conservation_detail(self):
+        result = check_work_conservation(MiDrrScheduler)
+        assert result.passed
+
+    def test_new_capacity_detail(self):
+        result = check_new_capacity(MiDrrScheduler)
+        assert result.passed, result.detail

@@ -1,0 +1,239 @@
+"""Tests for the fluid reference simulator and the theory artifacts."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FairnessError
+from repro.fairness.fluid import (
+    FluidCapacityStep,
+    FluidFlow,
+    FluidSimulator,
+    max_service_lag,
+)
+from repro.fairness.theory import (
+    fate_sharing_holds,
+    lemma_bounds,
+    theorem1_counterexample,
+)
+from repro.units import mbps
+
+
+class TestFluidSimulator:
+    def test_static_allocation(self):
+        simulator = FluidSimulator(
+            {"if1": mbps(3), "if2": mbps(10)},
+            [
+                FluidFlow("a", interfaces=("if1",)),
+                FluidFlow("b", weight=2.0),
+                FluidFlow("c", interfaces=("if2",)),
+            ],
+        )
+        result = simulator.run(10.0)
+        assert result.rate_at("a", 5.0) == pytest.approx(mbps(3))
+        assert result.rate_at("b", 5.0) == pytest.approx(mbps(20 / 3))
+        assert result.cumulative_service("a", 10.0) == pytest.approx(
+            mbps(3) * 10 / 8
+        )
+
+    def test_figure6_fluid_trajectory(self):
+        """The whole Figure 6 timeline, exactly, with zero packets."""
+        a_bytes = mbps(3) * 66 / 8
+        b_bytes = (mbps(20 / 3) * 66 + mbps(26 / 3) * 19) / 8
+        simulator = FluidSimulator(
+            {"if1": mbps(3), "if2": mbps(10)},
+            [
+                FluidFlow("a", interfaces=("if1",), total_bytes=a_bytes),
+                FluidFlow("b", weight=2.0, total_bytes=b_bytes),
+                FluidFlow("c", interfaces=("if2",)),
+            ],
+        )
+        result = simulator.run(100.0)
+        assert result.completions["a"] == pytest.approx(66.0, rel=1e-6)
+        assert result.completions["b"] == pytest.approx(85.0, rel=1e-6)
+        assert result.rate_at("b", 50.0) == pytest.approx(mbps(20 / 3))
+        assert result.rate_at("b", 70.0) == pytest.approx(mbps(26 / 3))
+        assert result.rate_at("c", 90.0) == pytest.approx(mbps(10))
+
+    def test_late_arrival(self):
+        simulator = FluidSimulator(
+            {"if1": mbps(2)},
+            [FluidFlow("early"), FluidFlow("late", start_time=5.0)],
+        )
+        result = simulator.run(10.0)
+        assert result.rate_at("early", 2.0) == pytest.approx(mbps(2))
+        assert result.rate_at("early", 7.0) == pytest.approx(mbps(1))
+        assert result.rate_at("late", 2.0) == 0.0
+        assert result.rate_at("late", 7.0) == pytest.approx(mbps(1))
+
+    def test_capacity_step(self):
+        simulator = FluidSimulator(
+            {"if1": mbps(1)},
+            [FluidFlow("a")],
+            capacity_steps=[FluidCapacityStep(5.0, "if1", mbps(4))],
+        )
+        result = simulator.run(10.0)
+        assert result.rate_at("a", 2.0) == pytest.approx(mbps(1))
+        assert result.rate_at("a", 7.0) == pytest.approx(mbps(4))
+        total = result.cumulative_service("a", 10.0)
+        assert total == pytest.approx((mbps(1) * 5 + mbps(4) * 5) / 8)
+
+    def test_average_rate(self):
+        simulator = FluidSimulator({"if1": mbps(2)}, [FluidFlow("a")])
+        result = simulator.run(10.0)
+        assert result.average_rate("a", 2.0, 8.0) == pytest.approx(mbps(2))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FluidSimulator({}, [])
+        with pytest.raises(ConfigurationError):
+            FluidSimulator({"if1": 1e6}, [FluidFlow("a"), FluidFlow("a")])
+        with pytest.raises(ConfigurationError):
+            FluidSimulator(
+                {"if1": 1e6},
+                [FluidFlow("a")],
+                capacity_steps=[FluidCapacityStep(1.0, "nope", 2e6)],
+            )
+        with pytest.raises(ConfigurationError):
+            FluidSimulator({"if1": 1e6}, [FluidFlow("a")]).run(0.0)
+
+
+class TestPacketizedAgainstFluid:
+    def test_midrr_service_lag_bounded_over_time(self):
+        """System-level Lemma check: miDRR's cumulative service stays
+        within a handful of packets of the fluid ideal at all times."""
+        from repro.core.runner import run_scenario
+        from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario
+        from repro.schedulers.midrr import MiDrrScheduler
+
+        scenario = Scenario(
+            interfaces=(InterfaceSpec("if1", mbps(3)), InterfaceSpec("if2", mbps(10))),
+            flows=(
+                FlowSpec("a", weight=1.0, interfaces=("if1",)),
+                FlowSpec("b", weight=2.0),
+                FlowSpec("c", weight=1.0, interfaces=("if2",)),
+            ),
+            duration=20.0,
+        )
+        packet_result = run_scenario(scenario, MiDrrScheduler)
+
+        fluid = FluidSimulator(
+            scenario.capacities(),
+            [
+                FluidFlow(spec.flow_id, weight=spec.weight, interfaces=spec.interfaces)
+                for spec in scenario.flows
+            ],
+        ).run(20.0)
+
+        measured = {}
+        for checkpoint in (2.0, 5.0, 10.0, 15.0, 20.0):
+            measured[checkpoint] = {
+                spec.flow_id: packet_result.stats.service_in_window(
+                    spec.flow_id, 0.0, checkpoint
+                )
+                for spec in scenario.flows
+            }
+        lags = max_service_lag(fluid, measured)
+        # A quantum per weight plus a few MTUs of slop; generous x4.
+        bound = 4 * (2 * 1500 + 1500)
+        for flow_id, lag in lags.items():
+            assert lag < bound, f"{flow_id} lag {lag} B exceeds {bound}"
+
+
+class TestTheorem1:
+    def test_finish_order_flips(self):
+        future_1, future_2 = theorem1_counterexample()
+        assert future_1.first_to_finish() == "b"
+        assert future_2.first_to_finish() == "a"
+
+    def test_future2_rates_match_paper(self):
+        _, future_2 = theorem1_counterexample()
+        # "flow a ... will remain at 1 Mb/s. Meanwhile flow b's rate
+        # reduces to 1/4 Mb/s."
+        assert future_2.rates["a"] == pytest.approx(1e6)
+        assert future_2.rates["b"] == pytest.approx(0.25e6)
+
+    def test_scales_with_capacity(self):
+        future_1, future_2 = theorem1_counterexample(capacity_bps=8e6,
+                                                     packet_bits_a=8e6,
+                                                     packet_bits_b=4e6)
+        assert future_1.first_to_finish() != future_2.first_to_finish()
+
+
+class TestLemmaBounds:
+    def test_values(self):
+        bounds = lemma_bounds(quantum_base=1500.0)
+        assert bounds["lemma5_lower"] == -3000.0
+        assert bounds["lemma6_bound"] == 4500.0
+
+    def test_validation(self):
+        with pytest.raises(FairnessError):
+            lemma_bounds(quantum_base=0)
+
+
+class TestFateSharing:
+    def test_holds_without_preferences(self):
+        assert fate_sharing_holds({"if1": 1e6, "if2": 1e6})
+
+    def test_holds_single_interface(self):
+        assert fate_sharing_holds({"if1": 5e6}, num_initial_flows=3)
+
+    def test_validation(self):
+        with pytest.raises(FairnessError):
+            fate_sharing_holds({"if1": 1e6}, num_initial_flows=0)
+
+
+class TestFluidProperties:
+    def test_capacity_conservation_random_instances(self):
+        """Backlogged fluid flows consume exactly the reachable capacity."""
+        import random
+
+        from hypothesis import given, settings, strategies as st
+
+        rng = random.Random(0)
+        for trial in range(20):
+            num_ifaces = rng.randint(1, 4)
+            capacities = {
+                f"if{j}": mbps(rng.randint(1, 10)) for j in range(num_ifaces)
+            }
+            iface_ids = list(capacities)
+            flows = []
+            for index in range(rng.randint(1, 5)):
+                count = rng.randint(1, num_ifaces)
+                willing = tuple(rng.sample(iface_ids, count))
+                flows.append(
+                    FluidFlow(
+                        f"f{index}",
+                        weight=rng.choice([1.0, 2.0]),
+                        interfaces=willing,
+                    )
+                )
+            result = FluidSimulator(capacities, flows).run(10.0)
+            reachable = sum(
+                capacity
+                for interface_id, capacity in capacities.items()
+                if any(interface_id in flow.interfaces for flow in flows)
+            )
+            total_served_bits = sum(
+                result.cumulative_service(flow.flow_id, 10.0) * 8
+                for flow in flows
+            )
+            assert total_served_bits == pytest.approx(reachable * 10.0, rel=1e-9)
+
+    def test_rate_at_boundaries(self):
+        simulator = FluidSimulator({"if1": mbps(2)}, [FluidFlow("a")])
+        result = simulator.run(10.0)
+        assert result.rate_at("a", 0.0) == pytest.approx(mbps(2))
+        assert result.rate_at("a", 10.0) == pytest.approx(mbps(2))
+        assert result.rate_at("a", 11.0) == 0.0
+        assert result.rate_at("ghost", 5.0) == 0.0
+
+    def test_cumulative_service_monotone(self):
+        simulator = FluidSimulator(
+            {"if1": mbps(3)},
+            [FluidFlow("a", total_bytes=mbps(3) * 4 / 8), FluidFlow("b")],
+        )
+        result = simulator.run(10.0)
+        previous = 0.0
+        for t in [0.5 * k for k in range(21)]:
+            current = result.cumulative_service("b", t)
+            assert current >= previous - 1e-9
+            previous = current

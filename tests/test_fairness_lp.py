@@ -1,0 +1,165 @@
+"""Unit + property tests for the LP solver, and solver cross-validation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import FairnessError
+from repro.fairness.lp import LpMaxMinSolver, lp_maxmin
+from repro.fairness.waterfill import weighted_maxmin
+
+
+class TestLpSolverBasics:
+    def test_figure_1c(self):
+        rates = lp_maxmin(
+            {"a": (1.0, None), "b": (1.0, ["if2"])}, {"if1": 1e6, "if2": 1e6}
+        )
+        assert rates["a"] == pytest.approx(1e6, rel=1e-5)
+        assert rates["b"] == pytest.approx(1e6, rel=1e-5)
+
+    def test_figure_6(self):
+        rates = lp_maxmin(
+            {"a": (1.0, ["if1"]), "b": (2.0, None), "c": (1.0, ["if2"])},
+            {"if1": 3e6, "if2": 10e6},
+        )
+        assert rates["a"] == pytest.approx(3e6, rel=1e-5)
+        assert rates["b"] == pytest.approx(20e6 / 3, rel=1e-5)
+        assert rates["c"] == pytest.approx(10e6 / 3, rel=1e-5)
+
+    def test_split_respects_capacities(self):
+        solver = LpMaxMinSolver(
+            {"a": (1.0, ["if1"]), "b": (2.0, None), "c": (1.0, ["if2"])},
+            {"if1": 3e6, "if2": 10e6},
+        )
+        rates, split = solver.solve()
+        by_interface = {}
+        for (flow_id, interface_id), value in split.items():
+            by_interface[interface_id] = by_interface.get(interface_id, 0.0) + value
+        assert by_interface["if1"] <= 3e6 * 1.001
+        assert by_interface["if2"] <= 10e6 * 1.001
+        for flow_id, rate in rates.items():
+            from_split = sum(
+                v for (f, _), v in split.items() if f == flow_id
+            )
+            assert from_split == pytest.approx(rate, rel=1e-4)
+
+    def test_split_respects_pi(self):
+        solver = LpMaxMinSolver(
+            {"a": (1.0, ["if1"]), "b": (1.0, ["if2"])},
+            {"if1": 1e6, "if2": 1e6},
+        )
+        _, split = solver.solve()
+        assert ("a", "if2") not in split
+        assert ("b", "if1") not in split
+
+
+class TestDemands:
+    def test_demand_capped_flow_frees_capacity(self):
+        # A flow that only wants 1 Mb/s leaves the rest to its peer.
+        rates = lp_maxmin(
+            {"a": (1.0, None), "b": (1.0, None)},
+            {"if1": 10e6},
+            demands={"a": 1e6},
+        )
+        assert rates["a"] == pytest.approx(1e6, rel=1e-4)
+        assert rates["b"] == pytest.approx(9e6, rel=1e-4)
+
+    def test_all_flows_demand_limited(self):
+        rates = lp_maxmin(
+            {"a": (1.0, None), "b": (1.0, None)},
+            {"if1": 10e6},
+            demands={"a": 2e6, "b": 3e6},
+        )
+        assert rates["a"] == pytest.approx(2e6, rel=1e-4)
+        assert rates["b"] == pytest.approx(3e6, rel=1e-4)
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(FairnessError):
+            lp_maxmin({"a": (1.0, None)}, {"if1": -1})
+
+    def test_bad_weight(self):
+        with pytest.raises(FairnessError):
+            lp_maxmin({"a": (-2.0, None)}, {"if1": 1e6})
+
+    def test_unknown_interface(self):
+        with pytest.raises(FairnessError):
+            lp_maxmin({"a": (1.0, ["zzz"])}, {"if1": 1e6})
+
+
+@st.composite
+def random_instances(draw):
+    num_interfaces = draw(st.integers(min_value=1, max_value=4))
+    interface_ids = [f"if{j}" for j in range(num_interfaces)]
+    capacities = {
+        j: float(draw(st.integers(min_value=1, max_value=20))) for j in interface_ids
+    }
+    num_flows = draw(st.integers(min_value=1, max_value=5))
+    flows = {}
+    for i in range(num_flows):
+        weight = float(draw(st.sampled_from([1, 2, 3, 5])))
+        mask = draw(st.integers(min_value=1, max_value=(1 << num_interfaces) - 1))
+        willing = [
+            interface_ids[j] for j in range(num_interfaces) if mask & (1 << j)
+        ]
+        flows[f"flow{i}"] = (weight, willing)
+    return flows, capacities
+
+
+@settings(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_instances())
+def test_lp_and_waterfill_agree(instance):
+    """Two independent solvers must produce identical rate vectors."""
+    flows, capacities = instance
+    exact = weighted_maxmin(flows, capacities)
+    lp_rates = lp_maxmin(flows, capacities)
+    for flow_id in flows:
+        assert lp_rates[flow_id] == pytest.approx(
+            exact.rate(flow_id), rel=1e-5, abs=1e-6
+        ), f"solver disagreement on {flow_id}"
+
+
+@settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(random_instances())
+def test_waterfill_is_pareto_efficient(instance):
+    """Total allocated rate equals total *reachable* capacity.
+
+    Work conservation: every interface with at least one willing flow is
+    fully used in a max-min allocation of continuously backlogged flows.
+    """
+    flows, capacities = instance
+    allocation = weighted_maxmin(flows, capacities)
+    reachable = sum(
+        capacity
+        for interface_id, capacity in capacities.items()
+        if interface_id not in allocation.idle_interfaces
+    )
+    assert allocation.total_rate() == pytest.approx(reachable, rel=1e-9)
+
+
+@settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(random_instances())
+def test_waterfill_satisfies_cluster_definition(instance):
+    """Definition 2 holds on the solver's own clusters."""
+    flows, capacities = instance
+    allocation = weighted_maxmin(flows, capacities)
+    # 1. Disjoint clusters covering every flow.
+    seen_flows = set()
+    seen_ifaces = set()
+    for cluster in allocation.clusters:
+        assert not (cluster.flows & seen_flows)
+        assert not (cluster.interfaces & seen_ifaces)
+        seen_flows |= cluster.flows
+        seen_ifaces |= cluster.interfaces
+    assert seen_flows == set(flows)
+    # 2/3. Each flow's cluster has the max level among reachable ones.
+    for flow_id, (weight, willing) in flows.items():
+        own = allocation.cluster_of(flow_id)
+        for other in allocation.clusters:
+            reachable = any(j in other.interfaces for j in willing)
+            if reachable:
+                assert other.level <= own.level

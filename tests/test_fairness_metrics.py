@@ -1,0 +1,119 @@
+"""Unit tests for fairness metrics."""
+
+import pytest
+
+from repro.errors import FairnessError
+from repro.fairness.metrics import (
+    directional_fairness,
+    jain_index,
+    max_relative_error,
+    measured_rates,
+    relative_errors,
+    service_lag_bound,
+    throughput_utilization,
+)
+from repro.net.sink import StatsCollector
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_single_flow(self):
+        assert jain_index([7.0]) == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FairnessError):
+            jain_index([])
+
+    def test_known_value(self):
+        # (1+2+3)² / (3·(1+4+9)) = 36/42.
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+
+class TestRelativeErrors:
+    def test_basic(self):
+        errors = relative_errors({"a": 110.0, "b": 90.0}, {"a": 100.0, "b": 100.0})
+        assert errors["a"] == pytest.approx(0.1)
+        assert errors["b"] == pytest.approx(0.1)
+
+    def test_missing_measured_flow(self):
+        errors = relative_errors({}, {"a": 100.0})
+        assert errors["a"] == pytest.approx(1.0)
+
+    def test_zero_reference_zero_measured(self):
+        assert relative_errors({"a": 0.0}, {"a": 0.0})["a"] == 0.0
+
+    def test_zero_reference_nonzero_measured(self):
+        assert relative_errors({"a": 5.0}, {"a": 0.0})["a"] == float("inf")
+
+    def test_max_relative_error(self):
+        assert max_relative_error(
+            {"a": 110.0, "b": 150.0}, {"a": 100.0, "b": 100.0}
+        ) == pytest.approx(0.5)
+
+    def test_max_relative_error_empty(self):
+        assert max_relative_error({}, {}) == 0.0
+
+
+class TestDirectionalFairness:
+    def test_equal_service_is_zero(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 1000)
+        stats.record("b", "if1", 1000)
+        fm = directional_fairness(
+            stats, "a", "b", {"a": 1.0, "b": 1.0}, -1.0, 1.0
+        )
+        assert fm == 0.0
+
+    def test_weight_normalization(self, sim):
+        # b has weight 2 and double the bytes: normalized services equal.
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 1000)
+        stats.record("b", "if1", 2000)
+        fm = directional_fairness(
+            stats, "a", "b", {"a": 1.0, "b": 2.0}, -1.0, 1.0
+        )
+        assert fm == 0.0
+
+    def test_direction_sign(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 3000)
+        stats.record("b", "if1", 1000)
+        weights = {"a": 1.0, "b": 1.0}
+        assert directional_fairness(stats, "a", "b", weights, -1, 1) == 2000
+        assert directional_fairness(stats, "b", "a", weights, -1, 1) == -2000
+
+
+class TestHelpers:
+    def test_service_lag_bound(self):
+        assert service_lag_bound(1500.0, 1500) == 1500 + 3000
+
+    def test_measured_rates(self, sim):
+        stats = StatsCollector(sim)
+        sim.schedule(1.0, stats.record, "a", "if1", 1250)
+        sim.run()
+        rates = measured_rates(stats, ["a", "b"], 0.0, 2.0)
+        assert rates["a"] == pytest.approx(5000.0)
+        assert rates["b"] == 0.0
+
+    def test_throughput_utilization(self, sim):
+        stats = StatsCollector(sim)
+        sim.schedule(1.0, stats.record, "a", "if1", 12_500)  # 100 kbit
+        sim.run()
+        utilization = throughput_utilization(
+            stats, {"if1": 100_000.0, "if2": 100_000.0}, 0.0, 1.0
+        )
+        assert utilization["if1"] == pytest.approx(1.0)
+        assert utilization["if2"] == 0.0
+
+    def test_throughput_utilization_bad_window(self, sim):
+        stats = StatsCollector(sim)
+        with pytest.raises(FairnessError):
+            throughput_utilization(stats, {}, 1.0, 1.0)

@@ -1,0 +1,176 @@
+"""Unit tests for the exact max-min water-filling solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import FairnessError
+from repro.fairness.waterfill import (
+    Allocation,
+    Cluster,
+    allocation_from_prefs,
+    weighted_maxmin,
+)
+from repro.prefs.preferences import PreferenceSet
+
+
+class TestPaperExamples:
+    def test_figure_1a_single_interface(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, None), "b": (1.0, None)}, {"if1": 2e6}
+        )
+        assert allocation.rate("a") == pytest.approx(1e6)
+        assert allocation.rate("b") == pytest.approx(1e6)
+
+    def test_figure_1b_no_preferences(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, None), "b": (1.0, None)}, {"if1": 1e6, "if2": 1e6}
+        )
+        assert allocation.rate("a") == pytest.approx(1e6)
+        assert allocation.rate("b") == pytest.approx(1e6)
+
+    def test_figure_1c_interface_preference(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, None), "b": (1.0, ["if2"])}, {"if1": 1e6, "if2": 1e6}
+        )
+        assert allocation.rate("a") == pytest.approx(1e6)
+        assert allocation.rate("b") == pytest.approx(1e6)
+
+    def test_section1_infeasible_rate_preference(self):
+        # φ_b = 2φ_a but b can only use if2: b is capped at 1 Mb/s and
+        # a receives the leftover rather than being throttled to 0.5.
+        allocation = weighted_maxmin(
+            {"a": (1.0, None), "b": (2.0, ["if2"])}, {"if1": 1e6, "if2": 1e6}
+        )
+        assert allocation.rate("b") == pytest.approx(1e6)
+        assert allocation.rate("a") == pytest.approx(1e6)
+
+    def test_figure_6_phase1(self):
+        allocation = weighted_maxmin(
+            {
+                "a": (1.0, ["if1"]),
+                "b": (2.0, None),
+                "c": (1.0, ["if2"]),
+            },
+            {"if1": 3e6, "if2": 10e6},
+        )
+        assert allocation.rate("a") == pytest.approx(3e6)
+        assert allocation.rate("b") == pytest.approx(20e6 / 3)
+        assert allocation.rate("c") == pytest.approx(10e6 / 3)
+
+    def test_figure_6_phase2(self):
+        allocation = weighted_maxmin(
+            {"b": (2.0, None), "c": (1.0, ["if2"])},
+            {"if1": 3e6, "if2": 10e6},
+        )
+        assert allocation.rate("b") == pytest.approx(26e6 / 3)
+        assert allocation.rate("c") == pytest.approx(13e6 / 3)
+
+    def test_figure_6_clusters(self):
+        allocation = weighted_maxmin(
+            {
+                "a": (1.0, ["if1"]),
+                "b": (2.0, None),
+                "c": (1.0, ["if2"]),
+            },
+            {"if1": 3e6, "if2": 10e6},
+        )
+        assert len(allocation.clusters) == 2
+        low, high = allocation.clusters
+        assert low.flows == frozenset({"a"})
+        assert low.interfaces == frozenset({"if1"})
+        assert float(low.level) == pytest.approx(3e6)
+        assert high.flows == frozenset({"b", "c"})
+        assert high.interfaces == frozenset({"if2"})
+        assert float(high.level) == pytest.approx(10e6 / 3)
+
+    def test_theorem1_counterexample_scenario2(self):
+        # Three extra if2-only flows arrive: a keeps 1 Mb/s on if1,
+        # the four if2 flows split 1 Mb/s.
+        flows = {"a": (1.0, None), "b": (1.0, ["if2"])}
+        for index in range(3):
+            flows[f"n{index}"] = (1.0, ["if2"])
+        allocation = weighted_maxmin(flows, {"if1": 1e6, "if2": 1e6})
+        assert allocation.rate("a") == pytest.approx(1e6)
+        assert allocation.rate("b") == pytest.approx(0.25e6)
+
+
+class TestExactness:
+    def test_rates_are_exact_fractions(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, None), "b": (1.0, None), "c": (1.0, None)},
+            {"if1": 1e6},
+        )
+        assert allocation.rates["a"] == Fraction(1_000_000, 3)
+
+    def test_total_rate_equals_usable_capacity(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, ["if1"]), "b": (1.0, None)},
+            {"if1": 5e6, "if2": 7e6},
+        )
+        assert allocation.total_rate() == pytest.approx(12e6)
+
+    def test_idle_interface_reported(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, ["if1"])}, {"if1": 1e6, "if2": 1e6}
+        )
+        assert allocation.idle_interfaces == frozenset({"if2"})
+        assert allocation.total_rate() == pytest.approx(1e6)
+
+    def test_cluster_lookup(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, ["if1"]), "b": (1.0, ["if2"])},
+            {"if1": 1e6, "if2": 2e6},
+        )
+        assert allocation.cluster_of("a").interfaces == frozenset({"if1"})
+        assert allocation.cluster_of("if2").flows == frozenset({"b"})
+        assert allocation.cluster_of("nothing") is None
+
+    def test_normalized_rate(self):
+        allocation = weighted_maxmin(
+            {"a": (2.0, None), "b": (1.0, None)}, {"if1": 3e6}
+        )
+        assert allocation.normalized("a", 2.0) == pytest.approx(1e6)
+        assert allocation.normalized("b", 1.0) == pytest.approx(1e6)
+
+
+class TestValidation:
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(FairnessError):
+            weighted_maxmin({"a": (1.0, None)}, {"if1": 0})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(FairnessError):
+            weighted_maxmin({"a": (0.0, None)}, {"if1": 1e6})
+
+    def test_unknown_interfaces_rejected(self):
+        with pytest.raises(FairnessError):
+            weighted_maxmin({"a": (1.0, ["nope"])}, {"if1": 1e6})
+
+    def test_interface_limit(self):
+        capacities = {f"if{j}": 1e6 for j in range(21)}
+        with pytest.raises(FairnessError, match="exceeds"):
+            weighted_maxmin({"a": (1.0, None)}, capacities)
+
+    def test_empty_flow_set(self):
+        allocation = weighted_maxmin({}, {"if1": 1e6})
+        assert allocation.rates == {}
+        assert allocation.idle_interfaces == frozenset({"if1"})
+
+    def test_cluster_rate_of_validates_membership(self):
+        cluster = Cluster(
+            flows=frozenset({"a"}), interfaces=frozenset({"if1"}), level=Fraction(1)
+        )
+        assert cluster.rate_of("a", 2.0) == 2.0
+        with pytest.raises(FairnessError):
+            cluster.rate_of("b", 1.0)
+
+
+class TestPreferenceSetWrapper:
+    def test_allocation_from_prefs(self):
+        prefs = PreferenceSet(["if1", "if2"])
+        prefs.add_flow("a", weight=1.0, interfaces=["if1"])
+        prefs.add_flow("b", weight=2.0)
+        allocation = allocation_from_prefs(prefs, {"if1": 3e6, "if2": 10e6})
+        assert allocation.rate("a") == pytest.approx(3e6)
+        assert allocation.rate("b") == pytest.approx(10e6)

@@ -1,0 +1,173 @@
+"""Unit + property tests for HTTP/1.1 message handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HttpError
+from repro.httpproxy.http11 import (
+    ByteRange,
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    parse_content_range,
+    parse_range_header,
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"Content-Length": "10"})
+        assert headers.get("content-length") == "10"
+        assert headers.get("CONTENT-LENGTH") == "10"
+
+    def test_set_replaces(self):
+        headers = Headers()
+        headers.set("Range", "bytes=0-1")
+        headers.set("range", "bytes=2-3")
+        assert headers.get("Range") == "bytes=2-3"
+        assert len(headers) == 1
+
+    def test_contains(self):
+        headers = Headers({"Accept": "*/*"})
+        assert "accept" in headers
+        assert "range" not in headers
+
+    def test_serialize_format(self):
+        headers = Headers({"Host": "example.com"})
+        assert headers.serialize() == b"Host: example.com\r\n"
+
+    def test_parse_malformed_line(self):
+        with pytest.raises(HttpError):
+            Headers.parse([b"no colon here"])
+
+    def test_parse_strips_whitespace(self):
+        headers = Headers.parse([b"Host:   example.com  "])
+        assert headers.get("host") == "example.com"
+
+
+class TestRequest:
+    def test_roundtrip(self):
+        request = HttpRequest(
+            method="GET",
+            target="/video",
+            headers=Headers({"Range": "bytes=0-499"}),
+        )
+        parsed = HttpRequest.parse(request.serialize())
+        assert parsed.method == "GET"
+        assert parsed.target == "/video"
+        assert parsed.headers.get("range") == "bytes=0-499"
+
+    def test_body_roundtrip(self):
+        request = HttpRequest(method="POST", target="/x", body=b"payload")
+        parsed = HttpRequest.parse(request.serialize())
+        assert parsed.body == b"payload"
+        assert parsed.headers.get("content-length") == "7"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError):
+            HttpRequest.parse(b"GET /\r\n\r\n")
+
+    def test_truncated_body_rejected(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        with pytest.raises(HttpError, match="truncated"):
+            HttpRequest.parse(raw)
+
+
+class TestResponse:
+    def test_roundtrip(self):
+        response = HttpResponse(status=206, body=b"chunk")
+        response.headers.set("Content-Range", "bytes 0-4/100")
+        parsed = HttpResponse.parse(response.serialize())
+        assert parsed.status == 206
+        assert parsed.body == b"chunk"
+        assert parsed.headers.get("content-range") == "bytes 0-4/100"
+
+    def test_reason_phrases(self):
+        assert HttpResponse(status=200).reason == "OK"
+        assert HttpResponse(status=206).reason == "Partial Content"
+        assert HttpResponse(status=416).reason == "Range Not Satisfiable"
+        assert HttpResponse(status=599).reason == "Unknown"
+
+    def test_content_length_set_on_serialize(self):
+        response = HttpResponse(status=200, body=b"12345")
+        raw = response.serialize()
+        assert b"Content-Length: 5" in raw
+
+    def test_malformed_status_line(self):
+        with pytest.raises(HttpError):
+            HttpResponse.parse(b"HTTP/1.1\r\n\r\n")
+
+
+class TestByteRange:
+    def test_length_inclusive(self):
+        assert ByteRange(0, 0).length == 1
+        assert ByteRange(10, 19).length == 10
+
+    def test_invalid_ranges(self):
+        with pytest.raises(HttpError):
+            ByteRange(-1, 5)
+        with pytest.raises(HttpError):
+            ByteRange(10, 9)
+
+    def test_header_value(self):
+        assert ByteRange(0, 499).header_value() == "bytes=0-499"
+
+    def test_content_range(self):
+        assert ByteRange(500, 999).content_range(1200) == "bytes 500-999/1200"
+
+    def test_ordering(self):
+        assert ByteRange(0, 9) < ByteRange(10, 19)
+
+
+class TestParseRangeHeader:
+    def test_explicit(self):
+        assert parse_range_header("bytes=0-499", 1000) == ByteRange(0, 499)
+
+    def test_open_ended(self):
+        assert parse_range_header("bytes=500-", 1000) == ByteRange(500, 999)
+
+    def test_suffix(self):
+        assert parse_range_header("bytes=-200", 1000) == ByteRange(800, 999)
+
+    def test_suffix_larger_than_object(self):
+        assert parse_range_header("bytes=-5000", 1000) == ByteRange(0, 999)
+
+    def test_end_clamped_to_object(self):
+        assert parse_range_header("bytes=900-5000", 1000) == ByteRange(900, 999)
+
+    @pytest.mark.parametrize(
+        "value",
+        ["items=0-1", "bytes=0-1,5-9", "bytes=-", "bytes=-0", "bytes=1000-1200"],
+    )
+    def test_rejects(self, value):
+        with pytest.raises(HttpError):
+            parse_range_header(value, 1000)
+
+
+class TestParseContentRange:
+    def test_roundtrip_with_byte_range(self):
+        byte_range, total = parse_content_range("bytes 500-999/1200")
+        assert byte_range == ByteRange(500, 999)
+        assert total == 1200
+
+    @pytest.mark.parametrize("value", ["items 0-1/2", "bytes x-y/z", "bytes 0-1"])
+    def test_rejects(self, value):
+        with pytest.raises(HttpError):
+            parse_content_range(value)
+
+
+@given(
+    start=st.integers(min_value=0, max_value=10_000),
+    length=st.integers(min_value=1, max_value=10_000),
+    total_extra=st.integers(min_value=0, max_value=1000),
+)
+def test_range_header_roundtrip_property(start, length, total_extra):
+    byte_range = ByteRange(start, start + length - 1)
+    total = byte_range.end + 1 + total_extra
+    reparsed = parse_range_header(byte_range.header_value(), total)
+    assert reparsed == byte_range
+    content_range, parsed_total = parse_content_range(
+        byte_range.content_range(total)
+    )
+    assert content_range == byte_range
+    assert parsed_total == total

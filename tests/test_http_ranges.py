@@ -1,0 +1,108 @@
+"""Unit + property tests for range splitting and splicing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HttpError
+from repro.httpproxy.http11 import ByteRange
+from repro.httpproxy.ranges import Splicer, split_ranges
+
+
+class TestSplitRanges:
+    def test_exact_multiple(self):
+        ranges = split_ranges(200, chunk_bytes=100)
+        assert ranges == [ByteRange(0, 99), ByteRange(100, 199)]
+
+    def test_remainder_chunk(self):
+        ranges = split_ranges(250, chunk_bytes=100)
+        assert ranges[-1] == ByteRange(200, 249)
+
+    def test_single_small_object(self):
+        assert split_ranges(10, chunk_bytes=100) == [ByteRange(0, 9)]
+
+    def test_coverage_is_exact(self):
+        ranges = split_ranges(1_000_003, chunk_bytes=64 * 1024)
+        assert ranges[0].start == 0
+        assert ranges[-1].end == 1_000_002
+        for previous, current in zip(ranges, ranges[1:]):
+            assert current.start == previous.end + 1
+
+    @pytest.mark.parametrize("total,chunk", [(0, 10), (10, 0), (-5, 10)])
+    def test_invalid_params(self, total, chunk):
+        with pytest.raises(HttpError):
+            split_ranges(total, chunk)
+
+
+class TestSplicer:
+    def test_in_order_assembly(self):
+        splicer = Splicer(10)
+        splicer.add(ByteRange(0, 4), b"01234")
+        splicer.add(ByteRange(5, 9), b"56789")
+        assert splicer.complete
+        assert splicer.assemble() == b"0123456789"
+
+    def test_out_of_order_assembly(self):
+        splicer = Splicer(10)
+        splicer.add(ByteRange(5, 9), b"56789")
+        assert not splicer.complete
+        splicer.add(ByteRange(0, 4), b"01234")
+        assert splicer.assemble() == b"0123456789"
+
+    def test_length_mismatch_rejected(self):
+        splicer = Splicer(10)
+        with pytest.raises(HttpError, match="carries"):
+            splicer.add(ByteRange(0, 4), b"012")
+
+    def test_out_of_bounds_rejected(self):
+        splicer = Splicer(10)
+        with pytest.raises(HttpError, match="exceeds"):
+            splicer.add(ByteRange(5, 14), b"0123456789")
+
+    def test_duplicate_rejected(self):
+        splicer = Splicer(10)
+        splicer.add(ByteRange(0, 4), b"01234")
+        with pytest.raises(HttpError, match="duplicate"):
+            splicer.add(ByteRange(0, 4), b"01234")
+
+    def test_incomplete_assemble_rejected(self):
+        splicer = Splicer(10)
+        splicer.add(ByteRange(0, 4), b"01234")
+        with pytest.raises(HttpError, match="incomplete"):
+            splicer.assemble()
+
+    def test_missing_prefix_length(self):
+        splicer = Splicer(15)
+        splicer.add(ByteRange(0, 4), b"aaaaa")
+        splicer.add(ByteRange(10, 14), b"ccccc")
+        assert splicer.missing_prefix_length() == 5
+        splicer.add(ByteRange(5, 9), b"bbbbb")
+        assert splicer.missing_prefix_length() == 15
+
+    def test_bytes_received(self):
+        splicer = Splicer(10)
+        splicer.add(ByteRange(0, 4), b"01234")
+        assert splicer.bytes_received == 5
+
+    def test_invalid_total(self):
+        with pytest.raises(HttpError):
+            Splicer(0)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    total=st.integers(min_value=1, max_value=50_000),
+    chunk=st.integers(min_value=64, max_value=10_000),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_split_then_splice_roundtrip(total, chunk, seed):
+    """Splitting and splicing in any order reproduces the object."""
+    import random
+
+    body = bytes((seed + i) % 256 for i in range(min(total, 4096)))
+    body = (body * (total // max(1, len(body)) + 1))[:total]
+    ranges = split_ranges(total, chunk)
+    random.Random(seed).shuffle(ranges)
+    splicer = Splicer(total)
+    for byte_range in ranges:
+        splicer.add(byte_range, body[byte_range.start: byte_range.end + 1])
+    assert splicer.assemble() == body

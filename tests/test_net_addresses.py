@@ -1,0 +1,67 @@
+"""Unit tests for MAC/IPv4 address types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeaderError
+from repro.net.addresses import MAC_BROADCAST, Ipv4Address, MacAddress
+
+
+class TestMacAddress:
+    def test_parse_and_str_roundtrip(self):
+        mac = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+
+    def test_bytes_roundtrip(self):
+        mac = MacAddress.parse("02:00:00:01:02:03")
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_broadcast(self):
+        assert str(MAC_BROADCAST) == "ff:ff:ff:ff:ff:ff"
+
+    @pytest.mark.parametrize("bad", ["", "aa:bb", "gg:00:00:00:00:00", "aabbccddeeff"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(HeaderError):
+            MacAddress.parse(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(HeaderError):
+            MacAddress(1 << 48)
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(HeaderError):
+            MacAddress.from_bytes(b"\x00" * 5)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_roundtrip_property(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.parse(str(mac)) == mac
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+
+class TestIpv4Address:
+    def test_parse_and_str_roundtrip(self):
+        addr = Ipv4Address.parse("192.168.1.23")
+        assert str(addr) == "192.168.1.23"
+
+    def test_bytes_roundtrip(self):
+        addr = Ipv4Address.parse("10.0.0.1")
+        assert Ipv4Address.from_bytes(addr.to_bytes()) == addr
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "256.1.1.1", "a.b.c.d", "1.2.3.4.5"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(HeaderError):
+            Ipv4Address.parse(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(HeaderError):
+            Ipv4Address(1 << 32)
+
+    def test_ordering(self):
+        assert Ipv4Address.parse("10.0.0.1") < Ipv4Address.parse("10.0.0.2")
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        addr = Ipv4Address(value)
+        assert Ipv4Address.parse(str(addr)) == addr
+        assert Ipv4Address.from_bytes(addr.to_bytes()) == addr

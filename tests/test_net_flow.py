@@ -1,0 +1,97 @@
+"""Unit tests for the Flow object."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PreferenceError
+from repro.net.flow import Flow
+from repro.net.packet import Packet
+
+
+def pkt(flow="f", size=100):
+    return Packet(flow_id=flow, size_bytes=size)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        flow = Flow("f")
+        assert flow.weight == 1.0
+        assert flow.allowed_interfaces is None
+        assert not flow.backlogged
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow("")
+
+    @pytest.mark.parametrize("weight", [0, -1.5])
+    def test_nonpositive_weight_rejected(self, weight):
+        with pytest.raises(PreferenceError):
+            Flow("f", weight=weight)
+
+    def test_empty_interface_set_rejected(self):
+        with pytest.raises(PreferenceError):
+            Flow("f", allowed_interfaces=[])
+
+
+class TestInterfacePreferences:
+    def test_none_means_any(self):
+        flow = Flow("f")
+        assert flow.willing_to_use("anything")
+
+    def test_restricted_set(self):
+        flow = Flow("f", allowed_interfaces=["if2"])
+        assert flow.willing_to_use("if2")
+        assert not flow.willing_to_use("if1")
+
+    def test_restrict_to_updates_live(self):
+        flow = Flow("f")
+        flow.restrict_to({"if1"})
+        assert flow.willing_to_use("if1")
+        assert not flow.willing_to_use("if2")
+
+    def test_restrict_to_empty_rejected(self):
+        flow = Flow("f")
+        with pytest.raises(PreferenceError):
+            flow.restrict_to(set())
+
+
+class TestBacklogAndListeners:
+    def test_offer_updates_backlog(self):
+        flow = Flow("f")
+        flow.offer(pkt())
+        assert flow.backlogged
+        assert flow.backlog_bytes == 100
+
+    def test_arrival_listener_fires_on_accept(self):
+        flow = Flow("f")
+        seen = []
+        flow.on_arrival(lambda f, p: seen.append(p))
+        flow.offer(pkt())
+        assert len(seen) == 1
+
+    def test_arrival_listener_skipped_on_drop(self):
+        flow = Flow("f", max_queue_bytes=50)
+        seen = []
+        flow.on_arrival(lambda f, p: seen.append(p))
+        assert not flow.offer(pkt(size=100))
+        assert seen == []
+
+    def test_pull_fires_dequeue_listener(self):
+        flow = Flow("f")
+        seen = []
+        flow.on_dequeue(lambda f, p: seen.append(p))
+        packet = pkt()
+        flow.offer(packet)
+        assert flow.pull() is packet
+        assert seen == [packet]
+
+    def test_record_sent_accounting(self):
+        flow = Flow("f")
+        flow.record_sent(pkt(size=700))
+        flow.record_sent(pkt(size=300))
+        assert flow.bytes_sent == 1000
+        assert flow.packets_sent == 2
+
+    def test_repr_mentions_preferences(self):
+        flow = Flow("video", weight=2.0, allowed_interfaces=["wifi"])
+        assert "video" in repr(flow)
+        assert "wifi" in repr(flow)

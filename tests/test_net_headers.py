@@ -1,0 +1,214 @@
+"""Unit + property tests for wire-format headers and checksums."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeaderError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    EthernetHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+    internet_checksum,
+)
+
+SRC = Ipv4Address.parse("10.0.0.1")
+DST = Ipv4Address.parse("93.184.216.34")
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # The classic worked example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        # Odd-length input is padded with a zero byte on the right.
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    def test_checksum_of_checksummed_data_is_zero(self):
+        data = b"hello world!"
+        checksum = internet_checksum(data)
+        combined = data + checksum.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_verification_property(self, data):
+        checksum = internet_checksum(data)
+        padded = data if len(data) % 2 == 0 else data + b"\x00"
+        assert internet_checksum(padded + checksum.to_bytes(2, "big")) == 0
+
+
+class TestEthernetHeader:
+    def test_roundtrip(self):
+        header = EthernetHeader(
+            dst=MacAddress.parse("aa:bb:cc:dd:ee:ff"),
+            src=MacAddress.parse("02:00:00:00:00:01"),
+        )
+        assert EthernetHeader.unpack(header.pack()) == header
+
+    def test_length(self):
+        header = EthernetHeader(MacAddress(0), MacAddress(1))
+        assert len(header.pack()) == EthernetHeader.LENGTH == 14
+
+    def test_default_ethertype(self):
+        header = EthernetHeader(MacAddress(0), MacAddress(1))
+        assert header.ethertype == ETHERTYPE_IPV4
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            EthernetHeader.unpack(b"\x00" * 13)
+
+
+class TestIpv4Header:
+    def _header(self, **overrides):
+        fields = dict(
+            src=SRC, dst=DST, protocol=IPPROTO_TCP, total_length=40, ttl=64
+        )
+        fields.update(overrides)
+        return Ipv4Header(**fields)
+
+    def test_roundtrip(self):
+        header = self._header(identification=0x1234)
+        parsed = Ipv4Header.unpack(header.pack())
+        assert parsed.src == SRC
+        assert parsed.dst == DST
+        assert parsed.protocol == IPPROTO_TCP
+        assert parsed.total_length == 40
+        assert parsed.identification == 0x1234
+
+    def test_packed_checksum_validates(self):
+        packed = self._header().pack()
+        assert internet_checksum(packed) == 0
+
+    def test_corrupted_checksum_rejected(self):
+        packed = bytearray(self._header().pack())
+        packed[12] ^= 0xFF  # flip a source-address byte
+        with pytest.raises(HeaderError, match="checksum"):
+            Ipv4Header.unpack(bytes(packed))
+
+    def test_non_ipv4_rejected(self):
+        packed = bytearray(self._header().pack())
+        packed[0] = (6 << 4) | 5  # version 6
+        with pytest.raises(HeaderError, match="version"):
+            Ipv4Header.unpack(bytes(packed))
+
+    def test_options_rejected(self):
+        packed = bytearray(self._header().pack())
+        packed[0] = (4 << 4) | 6  # ihl = 6
+        with pytest.raises(HeaderError, match="options"):
+            Ipv4Header.unpack(bytes(packed))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            Ipv4Header.unpack(b"\x45\x00")
+
+    def test_total_length_bounds(self):
+        with pytest.raises(HeaderError):
+            self._header(total_length=1 << 16).pack()
+
+    def test_with_addresses_rewrites_and_revalidates(self):
+        new_src = Ipv4Address.parse("192.168.1.99")
+        rewritten = self._header().with_addresses(src=new_src)
+        parsed = Ipv4Header.unpack(rewritten.pack())
+        assert parsed.src == new_src
+        assert parsed.dst == DST
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=20, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+    )
+    def test_roundtrip_property(self, src, dst, total_length, identification):
+        header = Ipv4Header(
+            src=Ipv4Address(src),
+            dst=Ipv4Address(dst),
+            protocol=IPPROTO_UDP,
+            total_length=total_length,
+            identification=identification,
+        )
+        parsed = Ipv4Header.unpack(header.pack())
+        assert (parsed.src, parsed.dst, parsed.total_length) == (
+            header.src,
+            header.dst,
+            header.total_length,
+        )
+
+
+class TestUdpHeader:
+    def test_roundtrip(self):
+        payload = b"data"
+        header = UdpHeader(5353, 53, UdpHeader.LENGTH + len(payload))
+        packed = header.pack(SRC, DST, payload)
+        parsed = UdpHeader.unpack(packed)
+        assert (parsed.src_port, parsed.dst_port) == (5353, 53)
+
+    def test_checksum_verifies(self):
+        payload = b"payload bytes"
+        header = UdpHeader(1000, 2000, UdpHeader.LENGTH + len(payload))
+        parsed = UdpHeader.unpack(header.pack(SRC, DST, payload))
+        assert parsed.verify(SRC, DST, payload)
+
+    def test_checksum_detects_payload_corruption(self):
+        payload = b"payload bytes"
+        header = UdpHeader(1000, 2000, UdpHeader.LENGTH + len(payload))
+        parsed = UdpHeader.unpack(header.pack(SRC, DST, payload))
+        assert not parsed.verify(SRC, DST, b"Payload bytes")
+
+    def test_checksum_detects_address_change(self):
+        payload = b"x"
+        header = UdpHeader(1, 2, UdpHeader.LENGTH + 1)
+        parsed = UdpHeader.unpack(header.pack(SRC, DST, payload))
+        other = Ipv4Address.parse("1.2.3.4")
+        assert not parsed.verify(other, DST, payload)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            UdpHeader.unpack(b"\x00" * 7)
+
+
+class TestTcpHeader:
+    def test_roundtrip(self):
+        header = TcpHeader(80, 54321, seq=1000, ack=2000, flags=TcpHeader.FLAG_ACK)
+        packed = header.pack(SRC, DST, b"body")
+        parsed = TcpHeader.unpack(packed)
+        assert (parsed.src_port, parsed.dst_port) == (80, 54321)
+        assert parsed.seq == 1000
+        assert parsed.ack == 2000
+        assert parsed.flags == TcpHeader.FLAG_ACK
+
+    def test_checksum_verifies(self):
+        header = TcpHeader(80, 54321, seq=7)
+        body = b"GET / HTTP/1.1\r\n"
+        parsed = TcpHeader.unpack(header.pack(SRC, DST, body))
+        assert parsed.verify(SRC, DST, body)
+        assert not parsed.verify(SRC, DST, body + b"x")
+
+    def test_options_rejected(self):
+        packed = bytearray(TcpHeader(1, 2).pack(SRC, DST))
+        packed[12] = 6 << 4  # data offset 6 words
+        with pytest.raises(HeaderError, match="options"):
+            TcpHeader.unpack(bytes(packed))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            TcpHeader.unpack(b"\x00" * 19)
+
+    @given(
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.binary(max_size=64),
+    )
+    def test_checksum_property(self, sport, dport, seq, body):
+        header = TcpHeader(sport, dport, seq=seq)
+        parsed = TcpHeader.unpack(header.pack(SRC, DST, body))
+        assert parsed.verify(SRC, DST, body)

@@ -1,0 +1,142 @@
+"""Unit tests for the simulated interface."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.interface import CapacityStep, Interface
+from repro.net.packet import Packet
+from repro.sim.tracing import TraceLog
+
+
+def supply_n(packets):
+    """A packet source serving from a fixed list."""
+    remaining = list(packets)
+
+    def source(interface):
+        return remaining.pop(0) if remaining else None
+
+    return source
+
+
+def pkt(size=1500, flow="f"):
+    return Packet(flow_id=flow, size_bytes=size)
+
+
+class TestTransmission:
+    def test_transmits_at_line_rate(self, sim):
+        # 1500 B at 12 kb/s = 1 s per packet.
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        done = []
+        interface.on_sent(lambda i, p: done.append(sim.now))
+        interface.kick()
+        sim.run()
+        assert done == pytest.approx([1.0, 2.0])
+
+    def test_busy_flag_during_transmission(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))
+        interface.kick()
+        assert interface.busy
+        sim.run()
+        assert not interface.busy
+
+    def test_kick_while_busy_is_noop(self, sim):
+        sent = []
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        interface.on_sent(lambda i, p: sent.append(p))
+        interface.kick()
+        interface.kick()  # ignored: busy
+        sim.run()
+        assert len(sent) == 2  # not duplicated
+
+    def test_counters(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(100), pkt(200)]))
+        interface.kick()
+        sim.run()
+        assert interface.packets_sent == 2
+        assert interface.bytes_sent == 300
+
+    def test_kick_without_source_raises(self, sim):
+        interface = Interface(sim, "if1", 1e6)
+        with pytest.raises(SimulationError):
+            interface.kick()
+
+    def test_double_attach_rejected(self, sim):
+        interface = Interface(sim, "if1", 1e6)
+        interface.attach_source(lambda i: None)
+        with pytest.raises(ConfigurationError):
+            interface.attach_source(lambda i: None)
+
+
+class TestCapacity:
+    def test_rate_change_affects_next_packet(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        done = []
+        interface.on_sent(lambda i, p: done.append(sim.now))
+        sim.schedule(0.5, interface.set_rate, 24_000)  # mid-flight
+        interface.kick()
+        sim.run()
+        # First packet keeps its original 1 s; second takes 0.5 s.
+        assert done == pytest.approx([1.0, 1.5])
+
+    def test_capacity_schedule(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.apply_capacity_schedule(
+            [CapacityStep(1.0, 24_000), CapacityStep(2.0, 6_000)]
+        )
+        interface.attach_source(supply_n([]))
+        sim.run(until=3.0)
+        assert interface.rate_bps == 6_000
+
+    @pytest.mark.parametrize("rate", [0, -5])
+    def test_invalid_rates_rejected(self, sim, rate):
+        with pytest.raises(ConfigurationError):
+            Interface(sim, "if1", rate)
+        interface = Interface(sim, "if1", 1e6)
+        with pytest.raises(ConfigurationError):
+            interface.set_rate(rate)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CapacityStep(1.0, 0)
+
+    def test_utilization(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))  # 1 s of work
+        interface.kick()
+        sim.run(until=2.0)
+        assert interface.utilization() == pytest.approx(0.5)
+
+
+class TestUpDown:
+    def test_bring_down_stops_new_work(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        sent = []
+        interface.on_sent(lambda i, p: sent.append(p))
+        interface.kick()
+        interface.bring_down()
+        sim.run()
+        assert len(sent) == 1  # in-flight packet completed, no more pulled
+
+    def test_bring_up_resumes(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))
+        interface.bring_down()
+        interface.kick()  # ignored while down
+        interface.bring_up()  # kicks internally
+        sim.run()
+        assert interface.packets_sent == 1
+
+    def test_trace_records(self, sim):
+        trace = TraceLog()
+        interface = Interface(sim, "if1", 12_000, trace=trace)
+        interface.attach_source(supply_n([pkt()]))
+        interface.kick()
+        sim.run()
+        kinds = [r.kind for r in trace]
+        assert kinds == ["tx_start", "tx_done"]

@@ -1,0 +1,60 @@
+"""Unit tests for packets and five-tuples."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.addresses import Ipv4Address
+from repro.net.headers import IPPROTO_TCP
+from repro.net.packet import FiveTuple, Packet
+
+
+class TestPacket:
+    def test_size_bits(self):
+        assert Packet(flow_id="a", size_bytes=100).size_bits == 800
+
+    def test_seqnos_are_unique_and_increasing(self):
+        first = Packet(flow_id="a", size_bytes=1)
+        second = Packet(flow_id="a", size_bytes=1)
+        assert second.seqno > first.seqno
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_nonpositive_size_rejected(self, size):
+        with pytest.raises(ConfigurationError):
+            Packet(flow_id="a", size_bytes=size)
+
+    def test_repr_is_compact(self):
+        packet = Packet(flow_id="video", size_bytes=1500)
+        assert "video" in repr(packet)
+        assert "1500B" in repr(packet)
+
+
+class TestFiveTuple:
+    def _tuple(self):
+        return FiveTuple(
+            src=Ipv4Address.parse("10.0.0.1"),
+            dst=Ipv4Address.parse("10.0.0.2"),
+            src_port=1234,
+            dst_port=80,
+            protocol=IPPROTO_TCP,
+        )
+
+    def test_reversed_swaps_endpoints(self):
+        forward = self._tuple()
+        backward = forward.reversed()
+        assert backward.src == forward.dst
+        assert backward.dst == forward.src
+        assert backward.src_port == forward.dst_port
+        assert backward.dst_port == forward.src_port
+        assert backward.protocol == forward.protocol
+
+    def test_double_reverse_is_identity(self):
+        forward = self._tuple()
+        assert forward.reversed().reversed() == forward
+
+    def test_hashable(self):
+        assert len({self._tuple(), self._tuple()}) == 1
+
+    def test_str_format(self):
+        text = str(self._tuple())
+        assert "10.0.0.1:1234" in text
+        assert "10.0.0.2:80" in text

@@ -1,0 +1,106 @@
+"""Unit tests for per-flow queues."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.queueing import FlowQueue
+
+
+def pkt(size=100, flow="f"):
+    return Packet(flow_id=flow, size_bytes=size)
+
+
+class TestFifoBehaviour:
+    def test_fifo_order(self):
+        queue = FlowQueue("f")
+        first, second = pkt(), pkt()
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+
+    def test_head_does_not_remove(self):
+        queue = FlowQueue("f")
+        packet = pkt()
+        queue.enqueue(packet)
+        assert queue.head() is packet
+        assert len(queue) == 1
+
+    def test_head_size(self):
+        queue = FlowQueue("f")
+        assert queue.head_size() is None
+        queue.enqueue(pkt(size=77))
+        assert queue.head_size() == 77
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(IndexError):
+            FlowQueue("f").dequeue()
+
+
+class TestByteAccounting:
+    def test_backlog_tracks_bytes(self):
+        queue = FlowQueue("f")
+        queue.enqueue(pkt(100))
+        queue.enqueue(pkt(200))
+        assert queue.backlog_bytes == 300
+        queue.dequeue()
+        assert queue.backlog_bytes == 200
+
+    def test_clear_resets(self):
+        queue = FlowQueue("f")
+        queue.enqueue(pkt())
+        removed = queue.clear()
+        assert len(removed) == 1
+        assert queue.backlog_bytes == 0
+        assert not queue
+
+    def test_enqueued_counter(self):
+        queue = FlowQueue("f")
+        queue.enqueue(pkt())
+        queue.enqueue(pkt())
+        queue.dequeue()
+        assert queue.enqueued_packets == 2
+
+
+class TestDropTail:
+    def test_drops_when_full(self):
+        queue = FlowQueue("f", max_bytes=250)
+        assert queue.enqueue(pkt(100))
+        assert queue.enqueue(pkt(100))
+        assert not queue.enqueue(pkt(100))  # would exceed 250
+        assert queue.backlog_bytes == 200
+        assert queue.dropped_packets == 1
+        assert queue.dropped_bytes == 100
+
+    def test_drop_callback(self):
+        dropped = []
+        queue = FlowQueue("f", max_bytes=50, on_drop=dropped.append)
+        queue.enqueue(pkt(40))
+        queue.enqueue(pkt(40))
+        assert len(dropped) == 1
+
+    def test_accepts_after_drain(self):
+        queue = FlowQueue("f", max_bytes=100)
+        queue.enqueue(pkt(100))
+        assert not queue.enqueue(pkt(100))
+        queue.dequeue()
+        assert queue.enqueue(pkt(100))
+
+    def test_invalid_max_bytes(self):
+        with pytest.raises(ConfigurationError):
+            FlowQueue("f", max_bytes=0)
+
+
+class TestValidation:
+    def test_wrong_flow_rejected(self):
+        queue = FlowQueue("f")
+        with pytest.raises(ConfigurationError):
+            queue.enqueue(pkt(flow="other"))
+
+    def test_iteration(self):
+        queue = FlowQueue("f")
+        packets = [pkt(), pkt(), pkt()]
+        for packet in packets:
+            queue.enqueue(packet)
+        assert list(queue) == packets

@@ -1,0 +1,104 @@
+"""Unit tests for the stats collector."""
+
+import pytest
+
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+from repro.net.sink import StatsCollector
+
+
+class TestDirectRecording:
+    def test_bytes_by_flow(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 100)
+        stats.record("a", "if2", 200)
+        stats.record("b", "if1", 50)
+        assert stats.bytes_sent("a") == 300
+        assert stats.bytes_sent("b") == 50
+        assert stats.bytes_sent("missing") == 0
+
+    def test_interface_bytes(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 100)
+        stats.record("b", "if1", 100)
+        assert stats.interface_bytes("if1") == 200
+
+    def test_service_matrix(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 100)
+        stats.record("a", "if1", 100)
+        stats.record("a", "if2", 40)
+        assert stats.service_matrix() == {("a", "if1"): 200, ("a", "if2"): 40}
+
+    def test_flow_ids_sorted(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("z", "if1", 1)
+        stats.record("a", "if1", 1)
+        assert stats.flow_ids() == ["a", "z"]
+
+
+class TestWindows:
+    def _collect(self, sim):
+        stats = StatsCollector(sim)
+        for t, flow, size in [(1.0, "a", 100), (2.0, "a", 100), (3.0, "b", 300)]:
+            sim.schedule(t, stats.record, flow, "if1", size)
+        sim.run()
+        return stats
+
+    def test_service_in_window_half_open(self, sim):
+        stats = self._collect(sim)
+        # (1.0, 3.0] excludes the t=1.0 sample, includes t=2.0 and 3.0.
+        assert stats.service_in_window("a", 1.0, 3.0) == 100
+        assert stats.service_in_window("b", 1.0, 3.0) == 300
+
+    def test_service_filtered_by_interface(self, sim):
+        stats = StatsCollector(sim)
+        stats.record("a", "if1", 100)
+        stats.record("a", "if2", 50)
+        assert stats.service_in_window("a", -1, 1, interface_id="if2") == 50
+
+    def test_rate_in_window(self, sim):
+        stats = self._collect(sim)
+        # 200 B over (0, 2] → 800 b/s.
+        assert stats.rate_in_window("a", 0.0, 2.0) == pytest.approx(800.0)
+
+    def test_rate_empty_window(self, sim):
+        stats = self._collect(sim)
+        assert stats.rate_in_window("a", 5.0, 5.0) == 0.0
+
+    def test_pair_service_in_window(self, sim):
+        stats = self._collect(sim)
+        matrix = stats.pair_service_in_window(0.0, 2.5)
+        assert matrix == {("a", "if1"): 200}
+
+
+class TestTimeseries:
+    def test_binning(self, sim):
+        stats = StatsCollector(sim)
+        for t in (0.2, 0.7, 1.2):
+            sim.schedule(t, stats.record, "a", "if1", 125)
+        sim.run(until=2.0)
+        series = stats.rate_timeseries("a", bin_width=1.0, end=2.0)
+        assert len(series) == 2
+        # Bin 0 has 250 B → 2000 b/s, bin 1 has 125 B → 1000 b/s.
+        assert series[0] == (0.5, pytest.approx(2000.0))
+        assert series[1] == (1.5, pytest.approx(1000.0))
+
+    def test_empty_inputs(self, sim):
+        stats = StatsCollector(sim)
+        assert stats.rate_timeseries("a", bin_width=0) == []
+        assert stats.rate_timeseries("a", bin_width=1.0, start=5.0, end=5.0) == []
+
+
+class TestInterfaceIntegration:
+    def test_watch_records_transmissions(self, sim):
+        stats = StatsCollector(sim)
+        interface = Interface(sim, "if1", 12_000)
+        packets = [Packet(flow_id="a", size_bytes=1500)]
+        interface.attach_source(lambda i: packets.pop(0) if packets else None)
+        stats.watch(interface)
+        interface.kick()
+        sim.run()
+        assert stats.bytes_sent("a") == 1500
+        assert stats.samples[0].time == pytest.approx(1.0)
+        assert stats.samples[0].interface_id == "if1"

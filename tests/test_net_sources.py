@@ -1,0 +1,182 @@
+"""Unit tests for traffic sources."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.flow import Flow
+from repro.net.sources import (
+    BulkSource,
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    sized_transfer,
+)
+
+
+class TestBulkSource:
+    def test_keeps_target_depth(self, sim):
+        flow = Flow("f")
+        BulkSource(sim, flow, target_depth=5)
+        sim.run(until=0.0)
+        assert len(flow.queue) == 5
+
+    def test_refills_on_pull(self, sim):
+        flow = Flow("f")
+        BulkSource(sim, flow, target_depth=3)
+        sim.run(until=0.0)
+        flow.pull()
+        assert len(flow.queue) == 3  # topped back up
+
+    def test_finite_transfer_exhausts(self, sim):
+        flow = Flow("f")
+        source = BulkSource(sim, flow, packet_size=100, total_bytes=250, target_depth=10)
+        sim.run(until=0.0)
+        # 100 + 100 + 50 = 250 bytes in 3 packets.
+        assert source.exhausted
+        sizes = [p.size_bytes for p in flow.queue]
+        assert sizes == [100, 100, 50]
+        assert sum(sizes) == 250
+
+    def test_no_refill_after_exhaustion(self, sim):
+        flow = Flow("f")
+        source = BulkSource(sim, flow, packet_size=100, total_bytes=200, target_depth=2)
+        sim.run(until=0.0)
+        flow.pull()
+        flow.pull()
+        assert not flow.backlogged
+        assert source.exhausted
+
+    def test_start_time_delays_backlog(self, sim):
+        flow = Flow("f")
+        BulkSource(sim, flow, start_time=5.0)
+        sim.run(until=1.0)
+        assert not flow.backlogged
+        sim.run(until=6.0)
+        assert flow.backlogged
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"packet_size": 0},
+            {"target_depth": 0},
+            {"total_bytes": 0},
+        ],
+    )
+    def test_invalid_params(self, sim, kwargs):
+        with pytest.raises(ConfigurationError):
+            BulkSource(sim, Flow("f"), **kwargs)
+
+
+class TestCbrSource:
+    def test_rate_is_respected(self, sim):
+        flow = Flow("f")
+        CbrSource(sim, flow, rate_bps=12_000, packet_size=1500)  # 1 pkt/s
+        sim.run(until=10.5)
+        assert flow.queue.enqueued_packets == 11  # t = 0..10
+
+    def test_stop_time(self, sim):
+        flow = Flow("f")
+        CbrSource(sim, flow, rate_bps=12_000, packet_size=1500, stop_time=3.5)
+        sim.run(until=10.0)
+        assert flow.queue.enqueued_packets == 4  # t = 0,1,2,3
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ConfigurationError):
+            CbrSource(sim, Flow("f"), rate_bps=0)
+
+
+class TestPoissonSource:
+    def test_mean_rate_close_to_nominal(self, sim):
+        flow = Flow("f")
+        source = PoissonSource(
+            sim, flow, rate_pps=100.0, rng=random.Random(1), packet_size=100
+        )
+        sim.run(until=50.0)
+        # 5000 expected arrivals; 4 sigma ≈ 283.
+        assert abs(source.packets_offered - 5000) < 300
+
+    def test_deterministic_given_seed(self, sim):
+        flow_a = Flow("a")
+        PoissonSource(sim, flow_a, rate_pps=10, rng=random.Random(7))
+        sim.run(until=10)
+        first = flow_a.queue.enqueued_packets
+
+        from repro.sim.simulator import Simulator
+
+        sim2 = Simulator()
+        flow_b = Flow("b")
+        PoissonSource(sim2, flow_b, rate_pps=10, rng=random.Random(7))
+        sim2.run(until=10)
+        assert flow_b.queue.enqueued_packets == first
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(sim, Flow("f"), rate_pps=0, rng=random.Random(0))
+
+
+class TestOnOffSource:
+    def test_generates_bursts(self, sim):
+        flow = Flow("f")
+        source = OnOffSource(
+            sim,
+            flow,
+            peak_rate_bps=120_000,
+            mean_on=1.0,
+            mean_off=1.0,
+            rng=random.Random(3),
+            packet_size=1500,
+        )
+        sim.run(until=60.0)
+        # ~50 % duty cycle at 10 pkt/s: loosely 150–450 packets.
+        assert 100 < source.packets_offered < 500
+
+    def test_stop_time(self, sim):
+        flow = Flow("f")
+        source = OnOffSource(
+            sim,
+            flow,
+            peak_rate_bps=120_000,
+            mean_on=1.0,
+            mean_off=1.0,
+            rng=random.Random(3),
+            stop_time=1.0,
+        )
+        sim.run(until=30.0)
+        late = [p for p in flow.queue if p.created_at > 1.0]
+        assert not late
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, Flow("f"), peak_rate_bps=0, mean_on=1, mean_off=1,
+                        rng=random.Random(0))
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, Flow("f"), peak_rate_bps=1e6, mean_on=0, mean_off=1,
+                        rng=random.Random(0))
+
+
+class TestTraceSource:
+    def test_replays_in_time_order(self, sim):
+        flow = Flow("f")
+        TraceSource(sim, flow, [(2.0, 300), (1.0, 100), (3.0, 200)])
+        sim.run()
+        sizes = [p.size_bytes for p in flow.queue]
+        assert sizes == [100, 300, 200]
+        times = [p.created_at for p in flow.queue]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_invalid_size(self, sim):
+        with pytest.raises(ConfigurationError):
+            TraceSource(sim, Flow("f"), [(1.0, 0)])
+
+
+class TestSizedTransfer:
+    def test_rounds_to_whole_packets(self):
+        size = sized_transfer(3e6, 66.0, packet_size=1500)
+        assert size % 1500 == 0
+
+    def test_duration_matches(self):
+        size = sized_transfer(3e6, 66.0)
+        assert size * 8 / 3e6 == pytest.approx(66.0, rel=1e-3)

@@ -1,0 +1,79 @@
+"""Unit tests for the device policy vocabulary."""
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.prefs.policy import AnyInterface, DevicePolicy, Except, Only, Prefer
+
+
+class TestRules:
+    INTERFACES = ["wifi", "lte", "3g"]
+
+    def test_any_resolves_to_none(self):
+        assert AnyInterface().resolve(self.INTERFACES) is None
+
+    def test_only(self):
+        assert Only("wifi").resolve(self.INTERFACES) == frozenset({"wifi"})
+        assert Only("wifi", "lte").resolve(self.INTERFACES) == frozenset(
+            {"wifi", "lte"}
+        )
+
+    def test_only_unknown_interface(self):
+        with pytest.raises(PreferenceError):
+            Only("satellite").resolve(self.INTERFACES)
+
+    def test_only_requires_names(self):
+        with pytest.raises(PreferenceError):
+            Only()
+
+    def test_except(self):
+        assert Except("lte").resolve(self.INTERFACES) == frozenset({"wifi", "3g"})
+
+    def test_except_everything_rejected(self):
+        with pytest.raises(PreferenceError):
+            Except("wifi", "lte", "3g").resolve(self.INTERFACES)
+
+    def test_prefer_picks_first_available(self):
+        assert Prefer("satellite", "lte").resolve(self.INTERFACES) == frozenset(
+            {"lte"}
+        )
+
+    def test_prefer_nothing_available(self):
+        with pytest.raises(PreferenceError):
+            Prefer("satellite").resolve(self.INTERFACES)
+
+
+class TestDevicePolicy:
+    def test_compile_produces_preference_set(self):
+        policy = DevicePolicy(["wifi", "lte"])
+        policy.app("netflix", Only("wifi"), weight=2.0)
+        policy.app("dropbox", AnyInterface())
+        prefs = policy.compile()
+        assert prefs.weight("netflix") == 2.0
+        assert prefs.willing_interfaces("netflix") == ["wifi"]
+        assert prefs.willing_interfaces("dropbox") == ["wifi", "lte"]
+
+    def test_duplicate_app_rejected(self):
+        policy = DevicePolicy(["wifi"])
+        policy.app("x", AnyInterface())
+        with pytest.raises(PreferenceError):
+            policy.app("x", AnyInterface())
+
+    def test_invalid_weight_rejected(self):
+        policy = DevicePolicy(["wifi"])
+        with pytest.raises(PreferenceError):
+            policy.app("x", AnyInterface(), weight=0)
+
+    def test_no_interfaces_rejected(self):
+        with pytest.raises(PreferenceError):
+            DevicePolicy([])
+
+    def test_len(self):
+        policy = DevicePolicy(["wifi"])
+        policy.app("a", AnyInterface())
+        policy.app("b", AnyInterface())
+        assert len(policy) == 2
+
+    def test_interfaces_deduplicated_in_order(self):
+        policy = DevicePolicy(["wifi", "lte", "wifi"])
+        assert policy.interfaces == ["wifi", "lte"]

@@ -1,0 +1,184 @@
+"""Scale integration: the paper's maxima, end to end.
+
+The paper's overhead study drives 16 interfaces; its workload study
+observes up to 35 concurrent flows. These tests run both extremes at
+once through the full stack (sources → engine → miDRR → interfaces →
+stats) and check that the core guarantees survive: Π compliance, work
+conservation, Theorem 2 conditions, and sane decision telemetry.
+"""
+
+import random
+
+import pytest
+
+from repro.core.runner import run_scenario
+from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+from repro.fairness.clusters import check_maxmin_conditions
+from repro.fairness.waterfill import weighted_maxmin
+from repro.prefs.preferences import PreferenceSet
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.units import mbps
+
+NUM_INTERFACES = 16
+NUM_FLOWS = 35
+DURATION = 15.0
+WARMUP = 3.0
+
+
+def build_large_scenario(seed: int = 0) -> Scenario:
+    """16 interfaces × 35 flows with random-but-reproducible Π and φ."""
+    rng = random.Random(seed)
+    interfaces = tuple(
+        InterfaceSpec(f"if{j}", mbps(rng.choice([2, 5, 10, 20])))
+        for j in range(NUM_INTERFACES)
+    )
+    flows = []
+    interface_ids = [spec.interface_id for spec in interfaces]
+    for index in range(NUM_FLOWS):
+        count = rng.randint(1, NUM_INTERFACES)
+        willing = tuple(sorted(rng.sample(interface_ids, count)))
+        flows.append(
+            FlowSpec(
+                f"flow{index:02d}",
+                weight=rng.choice([0.5, 1.0, 2.0, 4.0]),
+                interfaces=willing,
+            )
+        )
+    return Scenario(
+        name="scale",
+        interfaces=interfaces,
+        flows=tuple(flows),
+        duration=DURATION,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def big_result():
+    scenario = build_large_scenario()
+    # The counter variant is the exact one on dense random topologies.
+    result = run_scenario(
+        scenario, lambda: MiDrrScheduler(exclusion="counter")
+    )
+    return scenario, result
+
+
+class TestAtScale:
+    def test_pi_never_violated(self, big_result):
+        scenario, result = big_result
+        willing = {
+            spec.flow_id: set(spec.interfaces) for spec in scenario.flows
+        }
+        for (flow_id, interface_id), amount in result.stats.service_matrix().items():
+            assert interface_id in willing[flow_id], (
+                f"{flow_id} served {amount} B on unwilling {interface_id}"
+            )
+
+    def test_work_conservation(self, big_result):
+        scenario, result = big_result
+        used_ids = {
+            spec.interface_id
+            for spec in scenario.interfaces
+            if any(
+                spec.interface_id in flow.interfaces for flow in scenario.flows
+            )
+        }
+        for spec in scenario.interfaces:
+            if spec.interface_id not in used_ids:
+                continue
+            sent = result.stats.interface_bytes(spec.interface_id) * 8
+            utilization = sent / (spec.rate_bps * DURATION)
+            assert utilization > 0.95, (
+                f"{spec.interface_id} at {utilization:.1%}"
+            )
+
+    def test_rates_match_exact_maxmin(self, big_result):
+        scenario, result = big_result
+        reference = weighted_maxmin(
+            {
+                spec.flow_id: (spec.weight, spec.interfaces)
+                for spec in scenario.flows
+            },
+            scenario.capacities(),
+        )
+        for spec in scenario.flows:
+            measured = result.rate(spec.flow_id, WARMUP, DURATION)
+            expected = reference.rate(spec.flow_id)
+            assert measured == pytest.approx(expected, rel=0.10), (
+                f"{spec.flow_id}: {measured / 1e6:.2f} vs {expected / 1e6:.2f} Mb/s"
+            )
+
+    def test_theorem2_conditions(self, big_result):
+        scenario, result = big_result
+        prefs = PreferenceSet(scenario.interface_ids())
+        for spec in scenario.flows:
+            prefs.add_flow(
+                spec.flow_id, weight=spec.weight, interfaces=spec.interfaces
+            )
+        matrix = result.stats.pair_service_in_window(WARMUP, DURATION)
+        violations = check_maxmin_conditions(
+            matrix,
+            scenario.weights(),
+            prefs,
+            window=DURATION - WARMUP,
+            rel_tolerance=0.15,
+        )
+        assert not violations, "\n".join(violations[:5])
+
+    def test_decision_telemetry_sane(self, big_result):
+        scenario, result = big_result
+        scheduler = result.engine.scheduler
+        examined = scheduler.decision_flows_examined
+        assert examined, "no decisions recorded"
+        # Bounded skip-scan: never more than the cap × flow count.
+        assert max(examined) <= 66 * NUM_FLOWS + 1
+
+
+class TestTraceDrivenChurn:
+    def test_smartphone_trace_drives_flow_churn(self):
+        """Flows arrive/depart per the Figure 7 workload model; the
+        engine must stay work-conserving throughout."""
+        from repro.trace.smartphone import (
+            DeviceTraceConfig,
+            SmartphoneTraceGenerator,
+        )
+
+        config = DeviceTraceConfig(duration=240.0, mean_gap=60.0)
+        intervals = SmartphoneTraceGenerator(config, seed=3).generate()[:40]
+        assert intervals, "trace generated no flows"
+        horizon = 30.0
+        scale = horizon / max(interval.end for interval in intervals)
+        flows = []
+        for index, interval in enumerate(intervals):
+            start = interval.start * scale
+            length = max(0.5, interval.duration * scale)
+            # Size the transfer so the flow stays alive roughly its
+            # trace lifetime at a 1 Mb/s-ish share.
+            flows.append(
+                FlowSpec(
+                    f"t{index:02d}",
+                    start_time=round(start, 3),
+                    traffic=TrafficSpec(
+                        "bulk", total_bytes=max(15_000, int(1e6 * length / 8))
+                    ),
+                )
+            )
+        scenario = Scenario(
+            name="trace-churn",
+            interfaces=(
+                InterfaceSpec("wifi", mbps(10)),
+                InterfaceSpec("lte", mbps(5)),
+            ),
+            flows=tuple(flows),
+            duration=horizon,
+        )
+        result = run_scenario(scenario, MiDrrScheduler)
+        # Every byte offered was eventually served (no stuck flows).
+        total_offered = sum(spec.traffic.total_bytes for spec in flows)
+        total_served = sum(
+            result.stats.bytes_sent(spec.flow_id) for spec in flows
+        )
+        served_fraction = total_served / total_offered
+        assert served_fraction > 0.95
+        # And most flows completed within the horizon.
+        assert len(result.completions) >= 0.8 * len(flows)

@@ -1,0 +1,161 @@
+"""Unit + property tests for classic single-interface DRR."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import drain, make_flow, service_share
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.schedulers.drr import DrrScheduler
+
+
+class TestBasics:
+    def test_empty_returns_none(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("a"))
+        assert scheduler.next_packet() is None
+
+    def test_single_flow_gets_everything(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=5))
+        assert len(drain(scheduler, 10)) == 5
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DrrScheduler(quantum_base=0)
+
+    def test_quantum_scales_with_weight(self):
+        scheduler = DrrScheduler(quantum_base=1000)
+        flow = make_flow("a", weight=2.5)
+        assert scheduler.quantum(flow) == 2500
+
+
+class TestByteFairness:
+    def test_equal_weights_equal_bytes(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=200))
+        scheduler.add_flow(make_flow("b", backlog_packets=200))
+        packets = drain(scheduler, 100)
+        assert service_share(packets, "a") == pytest.approx(0.5, abs=0.02)
+
+    def test_mixed_packet_sizes_still_byte_fair(self):
+        # The headline DRR property: 300 B packets vs 1500 B packets.
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("small", backlog_packets=600, packet_size=300))
+        scheduler.add_flow(make_flow("big", backlog_packets=200, packet_size=1500))
+        packets = drain(scheduler, 300)
+        assert service_share(packets, "small") == pytest.approx(0.5, abs=0.05)
+
+    def test_weighted_shares(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("x1", weight=1, backlog_packets=400))
+        scheduler.add_flow(make_flow("x2", weight=2, backlog_packets=400))
+        packets = drain(scheduler, 300)
+        assert service_share(packets, "x2") == pytest.approx(2 / 3, abs=0.03)
+
+    def test_work_conserving_when_one_flow_empties(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=2))
+        scheduler.add_flow(make_flow("b", backlog_packets=50))
+        packets = drain(scheduler, 52)
+        assert len(packets) == 52  # nothing wasted
+
+
+class TestDeficitSemantics:
+    def test_deficit_resets_when_flow_empties(self):
+        # Paper Algorithm 3.1: BL_i = 0 → DC_i = 0.
+        scheduler = DrrScheduler(quantum_base=1500)
+        flow = make_flow("a", backlog_packets=1, packet_size=100)
+        scheduler.add_flow(flow)
+        scheduler.next_packet()
+        assert scheduler.deficit("a") == 0.0
+
+    def test_deficit_carries_over_while_backlogged(self):
+        scheduler = DrrScheduler(quantum_base=1000)
+        # 1500-byte packets, 1000-byte quantum: needs 2 turns per packet.
+        flow = make_flow("a", backlog_packets=3, packet_size=1500)
+        scheduler.add_flow(flow)
+        packet = scheduler.next_packet()
+        assert packet is not None
+        # After sending one 1500 B packet with two 1000 B grants, the
+        # carried deficit is 500.
+        assert scheduler.deficit("a") == pytest.approx(500.0)
+
+    def test_deficit_bound_lemma3(self):
+        # 0 ≤ DC < MaxSize at the end of any service turn (Lemma 3).
+        scheduler = DrrScheduler(quantum_base=1500)
+        scheduler.add_flow(make_flow("a", backlog_packets=100, packet_size=700))
+        scheduler.add_flow(make_flow("b", backlog_packets=100, packet_size=1500))
+        for _ in range(150):
+            scheduler.next_packet()
+            for flow_id in ("a", "b"):
+                assert 0 <= scheduler.deficit(flow_id) < 1500
+
+    def test_quantum_smaller_than_packet_still_progresses(self):
+        scheduler = DrrScheduler(quantum_base=100)
+        scheduler.add_flow(make_flow("a", backlog_packets=2, packet_size=1500))
+        packets = drain(scheduler, 2)
+        assert len(packets) == 2
+
+    def test_turn_counting(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=10))
+        scheduler.add_flow(make_flow("b", backlog_packets=10))
+        drain(scheduler, 10)
+        # Equal quanta: turns may differ by at most one.
+        assert abs(scheduler.turns_taken["a"] - scheduler.turns_taken["b"]) <= 1
+
+
+class TestDynamicFlows:
+    def test_new_arrival_joins_round(self):
+        scheduler = DrrScheduler()
+        flow_a = make_flow("a", backlog_packets=5)
+        flow_b = make_flow("b")
+        scheduler.add_flow(flow_a)
+        scheduler.add_flow(flow_b)
+        drain(scheduler, 2)
+        flow_b.offer(Packet(flow_id="b", size_bytes=1500))
+        scheduler.notify_backlogged(flow_b)
+        flow_ids = {p.flow_id for p in drain(scheduler, 4)}
+        assert "b" in flow_ids
+
+    def test_remove_current_flow(self):
+        scheduler = DrrScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=5))
+        scheduler.add_flow(make_flow("b", backlog_packets=5))
+        first = scheduler.next_packet()
+        scheduler.remove_flow(first.flow_id)
+        remaining = {p.flow_id for p in drain(scheduler, 20)}
+        assert first.flow_id not in remaining
+
+    def test_readding_same_object_is_idempotent(self):
+        scheduler = DrrScheduler()
+        flow = make_flow("a", backlog_packets=1)
+        scheduler.add_flow(flow)
+        scheduler.add_flow(flow)
+        assert len(drain(scheduler, 5)) == 1
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.5, max_value=4.0), min_size=2, max_size=5
+    ),
+    packet_size=st.sampled_from([200, 700, 1500]),
+)
+def test_weighted_fairness_property(weights, packet_size):
+    """Long-run DRR shares are proportional to weights (any weights)."""
+    scheduler = DrrScheduler()
+    flows = []
+    for index, weight in enumerate(weights):
+        flow = make_flow(
+            f"f{index}", weight=weight, backlog_packets=3000, packet_size=packet_size
+        )
+        scheduler.add_flow(flow)
+        flows.append(flow)
+    packets = drain(scheduler, 1200)
+    total_weight = sum(weights)
+    for index, weight in enumerate(weights):
+        share = service_share(packets, f"f{index}")
+        assert share == pytest.approx(weight / total_weight, rel=0.15)

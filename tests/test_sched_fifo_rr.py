@@ -1,0 +1,71 @@
+"""Unit tests for FIFO and round-robin schedulers."""
+
+from tests.helpers import drain, make_flow, service_share
+
+from repro.net.packet import Packet
+from repro.schedulers.fifo import FifoScheduler, RoundRobinScheduler
+
+
+class TestFifo:
+    def test_serves_in_arrival_order(self):
+        scheduler = FifoScheduler()
+        flow_a = make_flow("a")
+        flow_b = make_flow("b")
+        scheduler.add_flow(flow_a)
+        scheduler.add_flow(flow_b)
+        flow_a.offer(Packet(flow_id="a", size_bytes=100))
+        flow_b.offer(Packet(flow_id="b", size_bytes=100))
+        flow_a.offer(Packet(flow_id="a", size_bytes=100))
+        order = [p.flow_id for p in drain(scheduler, 10)]
+        assert order == ["a", "b", "a"]
+
+    def test_preexisting_backlog_served(self):
+        scheduler = FifoScheduler()
+        flow = make_flow("a", backlog_packets=3)
+        scheduler.add_flow(flow)
+        assert len(drain(scheduler, 10)) == 3
+
+    def test_empty_returns_none(self):
+        scheduler = FifoScheduler()
+        scheduler.add_flow(make_flow("a"))
+        assert scheduler.next_packet() is None
+
+    def test_removed_flow_not_served(self):
+        scheduler = FifoScheduler()
+        flow = make_flow("a", backlog_packets=2)
+        scheduler.add_flow(flow)
+        scheduler.remove_flow("a")
+        assert scheduler.next_packet() is None
+
+
+class TestRoundRobin:
+    def test_alternates_between_flows(self):
+        scheduler = RoundRobinScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=3))
+        scheduler.add_flow(make_flow("b", backlog_packets=3))
+        order = [p.flow_id for p in drain(scheduler, 6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_skips_empty_flows(self):
+        scheduler = RoundRobinScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=0))
+        scheduler.add_flow(make_flow("b", backlog_packets=2))
+        order = [p.flow_id for p in drain(scheduler, 5)]
+        assert order == ["b", "b"]
+
+    def test_packet_fairness_ignores_size(self):
+        # RR is packet-fair, not byte-fair: the motivation for DRR.
+        scheduler = RoundRobinScheduler()
+        scheduler.add_flow(make_flow("big", backlog_packets=10, packet_size=1500))
+        scheduler.add_flow(make_flow("small", backlog_packets=10, packet_size=100))
+        packets = drain(scheduler, 10)
+        assert service_share(packets, "big") > 0.9
+
+    def test_remove_flow_mid_round(self):
+        scheduler = RoundRobinScheduler()
+        scheduler.add_flow(make_flow("a", backlog_packets=2))
+        scheduler.add_flow(make_flow("b", backlog_packets=2))
+        scheduler.next_packet()
+        scheduler.remove_flow("a")
+        order = [p.flow_id for p in drain(scheduler, 5)]
+        assert order == ["b", "b"]

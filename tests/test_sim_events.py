@@ -1,0 +1,94 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, fired.append, ("c",))
+        queue.push(1.0, fired.append, ("a",))
+        queue.push(2.0, fired.append, ("b",))
+        while queue:
+            queue.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abcde":
+            queue.push(1.0, fired.append, (name,))
+        while queue:
+            queue.pop().fire()
+        assert fired == list("abcde")
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, fired.append, ("low",), priority=5)
+        queue.push(1.0, fired.append, ("high",), priority=-5)
+        assert queue.pop().fire() is None  # fires "high"
+        assert fired == ["high"]
+
+    def test_negative_and_fractional_times(self):
+        queue = EventQueue()
+        queue.push(0.5, lambda: None)
+        queue.push(0.25, lambda: None)
+        assert queue.peek_time() == 0.25
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        fired = []
+        victim = queue.push(1.0, fired.append, ("victim",))
+        queue.push(2.0, fired.append, ("survivor",))
+        victim.cancel()
+        queue.pop().fire()
+        assert fired == ["survivor"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        victim = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        victim.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_pop_all_cancelled_raises(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None).cancel()
+        with pytest.raises(SimulationError):
+            queue.pop()
+
+
+class TestQueueBasics:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue
+        assert len(queue) == 1
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert not queue
+
+    def test_event_callback_args(self):
+        queue = EventQueue()
+        result = []
+        queue.push(0.0, lambda a, b: result.append(a + b), (2, 3))
+        queue.pop().fire()
+        assert result == [5]

@@ -1,0 +1,67 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.tracing import TraceLog, TraceRecord
+
+
+class TestTraceLog:
+    def test_emit_and_iterate(self):
+        log = TraceLog()
+        log.emit(1.0, "if1", "tx_start", flow_id="a")
+        log.emit(2.0, "if1", "tx_done", flow_id="a")
+        records = list(log)
+        assert len(records) == 2
+        assert records[0].kind == "tx_start"
+        assert records[1].payload == {"flow_id": "a"}
+
+    def test_disabled_log_is_noop(self):
+        log = TraceLog(enabled=False)
+        log.emit(1.0, "x", "y")
+        assert len(log) == 0
+
+    def test_filter_by_kind(self):
+        log = TraceLog()
+        log.emit(1.0, "if1", "tx_start")
+        log.emit(2.0, "if1", "tx_done")
+        log.emit(3.0, "if2", "tx_start")
+        assert len(log.records(kind="tx_start")) == 2
+
+    def test_filter_by_source(self):
+        log = TraceLog()
+        log.emit(1.0, "if1", "tx_start")
+        log.emit(2.0, "if2", "tx_start")
+        assert len(log.records(source="if2")) == 1
+
+    def test_combined_filter(self):
+        log = TraceLog()
+        log.emit(1.0, "if1", "tx_start")
+        log.emit(2.0, "if1", "tx_done")
+        log.emit(3.0, "if2", "tx_done")
+        records = log.records(kind="tx_done", source="if1")
+        assert [r.time for r in records] == [2.0]
+
+    def test_subscriber_sees_live_records(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(1.0, "s", "k", value=3)
+        assert len(seen) == 1
+        assert seen[0].payload["value"] == 3
+
+    def test_clear_keeps_subscribers(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(1.0, "s", "k")
+        log.clear()
+        assert len(log) == 0
+        log.emit(2.0, "s", "k")
+        assert len(seen) == 2
+
+    def test_records_are_frozen(self):
+        record = TraceRecord(1.0, "s", "k", {})
+        try:
+            record.time = 2.0
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated

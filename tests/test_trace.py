@@ -1,0 +1,126 @@
+"""Unit tests for the smartphone trace model and concurrency analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.concurrency import ConcurrencyStats, concurrency_stats
+from repro.trace.smartphone import (
+    DeviceTraceConfig,
+    FlowInterval,
+    SmartphoneTraceGenerator,
+)
+
+
+class TestFlowInterval:
+    def test_duration(self):
+        assert FlowInterval(1.0, 3.5, "web").duration == 2.5
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowInterval(1.0, 1.0, "web")
+
+
+class TestConcurrencyStats:
+    def test_single_flow(self):
+        stats = concurrency_stats([FlowInterval(0.0, 10.0, "a")])
+        assert stats.active_time == 10.0
+        assert stats.max_concurrent == 1
+        assert stats.fraction_at_least(1) == 1.0
+        assert stats.fraction_at_least(2) == 0.0
+
+    def test_overlapping_flows(self):
+        intervals = [
+            FlowInterval(0.0, 10.0, "a"),
+            FlowInterval(5.0, 15.0, "b"),
+        ]
+        stats = concurrency_stats(intervals)
+        # 0-5: level 1; 5-10: level 2; 10-15: level 1.
+        assert stats.time_at_level == {1: 10.0, 2: 5.0}
+        assert stats.max_concurrent == 2
+        assert stats.fraction_at_least(2) == pytest.approx(1 / 3)
+
+    def test_idle_gaps_excluded(self):
+        intervals = [
+            FlowInterval(0.0, 1.0, "a"),
+            FlowInterval(100.0, 101.0, "b"),
+        ]
+        stats = concurrency_stats(intervals)
+        assert stats.active_time == 2.0  # the 99 s gap does not count
+
+    def test_back_to_back_is_not_concurrent(self):
+        intervals = [
+            FlowInterval(0.0, 5.0, "a"),
+            FlowInterval(5.0, 10.0, "b"),
+        ]
+        stats = concurrency_stats(intervals)
+        assert stats.max_concurrent == 1
+
+    def test_cdf_monotone_and_complete(self):
+        intervals = [
+            FlowInterval(0.0, 10.0, "a"),
+            FlowInterval(2.0, 4.0, "b"),
+            FlowInterval(3.0, 9.0, "c"),
+        ]
+        cdf = concurrency_stats(intervals).cdf()
+        probabilities = [p for _, p in cdf]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_quantile(self):
+        stats = concurrency_stats(
+            [FlowInterval(0.0, 9.0, "a"), FlowInterval(0.0, 1.0, "b")]
+        )
+        assert stats.quantile(0.5) == 1
+        assert stats.quantile(1.0) == 2
+        with pytest.raises(ConfigurationError):
+            stats.quantile(0.0)
+
+    def test_empty(self):
+        stats = concurrency_stats([])
+        assert stats.active_time == 0.0
+        assert stats.max_concurrent == 0
+        assert stats.cdf() == []
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        first = SmartphoneTraceGenerator(seed=5).generate()
+        second = SmartphoneTraceGenerator(seed=5).generate()
+        assert len(first) == len(second)
+        assert first[0].start == second[0].start
+
+    def test_seeds_differ(self):
+        first = SmartphoneTraceGenerator(seed=1).generate()
+        second = SmartphoneTraceGenerator(seed=2).generate()
+        assert len(first) != len(second) or first[0].start != second[0].start
+
+    def test_respects_duration(self):
+        config = DeviceTraceConfig(duration=3600.0)
+        flows = SmartphoneTraceGenerator(config, seed=0).generate()
+        assert all(f.start < 3600.0 for f in flows)
+
+    def test_concurrency_cap_enforced(self):
+        config = DeviceTraceConfig(duration=24 * 3600.0, max_concurrent=10)
+        flows = SmartphoneTraceGenerator(config, seed=0).generate()
+        assert concurrency_stats(flows).max_concurrent <= 10
+
+    def test_calibration_matches_paper(self):
+        """The two Figure 7 statistics: P[N≥7]≈0.10 and max 35."""
+        stats = concurrency_stats(SmartphoneTraceGenerator(seed=0).generate())
+        assert 0.05 <= stats.fraction_at_least(7) <= 0.15
+        assert 30 <= stats.max_concurrent <= 35
+
+    def test_app_mix_present(self):
+        flows = SmartphoneTraceGenerator(seed=0).generate()
+        apps = {f.app for f in flows}
+        assert "browser" in apps
+        assert "background" in apps
+
+    def test_invalid_popularities(self):
+        from repro.trace.smartphone import AppProfile
+
+        config = DeviceTraceConfig(
+            apps=(AppProfile("x", 0.0, (1, 1), 1.0),)
+        )
+        with pytest.raises(ConfigurationError):
+            SmartphoneTraceGenerator(config)

@@ -1,0 +1,75 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestRates:
+    def test_kbps(self):
+        assert units.kbps(3) == 3_000.0
+
+    def test_mbps(self):
+        assert units.mbps(3) == 3_000_000.0
+
+    def test_gbps(self):
+        assert units.gbps(1.5) == 1.5e9
+
+    def test_sizes(self):
+        assert units.kib(2) == 2048
+        assert units.mib(1) == 1024 * 1024
+
+    def test_bit_byte_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(1500)) == 1500
+
+
+class TestTransmissionTime:
+    def test_basic(self):
+        # 1500 bytes at 12 kb/s = 1 second.
+        assert units.transmission_time(1500, 12_000) == pytest.approx(1.0)
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(1500, 0)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(1500, -1)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "rate, expected",
+        [
+            (3e9, "3.00 Gb/s"),
+            (3e6, "3.00 Mb/s"),
+            (3e3, "3.00 kb/s"),
+            (300, "300.00 b/s"),
+        ],
+    )
+    def test_format_rate(self, rate, expected):
+        assert units.format_rate(rate) == expected
+
+    @pytest.mark.parametrize(
+        "size, expected",
+        [
+            (2 * 1024**3, "2.00 GiB"),
+            (3 * 1024**2, "3.00 MiB"),
+            (1536, "1.50 KiB"),
+            (12, "12 B"),
+        ],
+    )
+    def test_format_bytes(self, size, expected):
+        assert units.format_bytes(size) == expected
+
+    @pytest.mark.parametrize(
+        "duration, expected",
+        [
+            (66.0, "66.0 s"),
+            (0.0025, "2.50 ms"),
+            (2.5e-6, "2.50 us"),
+            (5e-9, "5.0 ns"),
+        ],
+    )
+    def test_format_duration(self, duration, expected):
+        assert units.format_duration(duration) == expected
