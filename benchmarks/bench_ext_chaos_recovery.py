@@ -1,0 +1,100 @@
+"""Extension — time-to-reconverge after an interface outage.
+
+A pinned flow loses its only interface, is quarantined, and resumes
+with fresh DRR state when the interface returns. The bench times the
+simulation and asserts the recovery quality the fault model promises:
+the flow is back within 10 % of its weighted max-min share within two
+seconds of the interface coming up.
+
+Run: pytest benchmarks/bench_ext_chaos_recovery.py --benchmark-only
+"""
+
+from conftest import banner, emit
+
+from repro.analysis.report import render_table
+from repro.core.engine import SchedulingEngine
+from repro.fairness.waterfill import weighted_maxmin
+from repro.net.flow import Flow
+from repro.net.interface import Interface
+from repro.net.sources import BulkSource
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.sim.simulator import Simulator
+from repro.units import mbps
+
+DURATION = 30.0
+OUTAGE_START = 10.0
+OUTAGE_END = 15.0
+
+
+def run_outage() -> SchedulingEngine:
+    sim = Simulator()
+    engine = SchedulingEngine(sim, MiDrrScheduler())
+    wifi = Interface(sim, "wifi", mbps(8))
+    lte = Interface(sim, "lte", mbps(5))
+    engine.add_interface(wifi)
+    engine.add_interface(lte)
+    pinned = Flow("pinned", allowed_interfaces=("wifi",))
+    bulk = Flow("bulk")
+    BulkSource(sim, pinned)
+    BulkSource(sim, bulk)
+    engine.add_flow(pinned)
+    engine.add_flow(bulk)
+    sim.schedule(OUTAGE_START, wifi.bring_down)
+    sim.schedule(OUTAGE_END, wifi.bring_up)
+    engine.start()
+    sim.run(until=DURATION)
+    return engine
+
+
+def time_to_reconverge(
+    engine: SchedulingEngine,
+    flow_id: str,
+    recovery_time: float,
+    target_bps: float,
+    bin_width: float = 0.25,
+    threshold: float = 0.9,
+) -> float:
+    """Seconds after *recovery_time* until the flow's binned rate first
+    reaches *threshold* of its reference share; ``inf`` if it never
+    does."""
+    series = engine.stats.rate_timeseries(
+        flow_id, bin_width, start=recovery_time, end=DURATION
+    )
+    for center, rate in series:
+        if rate >= threshold * target_bps:
+            return center + bin_width / 2 - recovery_time
+    return float("inf")
+
+
+def test_chaos_recovery(benchmark):
+    engine = benchmark.pedantic(run_outage, rounds=1, iterations=1)
+
+    reference = weighted_maxmin(
+        {"pinned": (1.0, ["wifi"]), "bulk": (1.0, None)},
+        {"wifi": mbps(8), "lte": mbps(5)},
+    )
+    target = reference.rate("pinned")
+    reconverge = time_to_reconverge(engine, "pinned", OUTAGE_END, target)
+    tail_rate = engine.stats.rate_in_window("pinned", DURATION - 5, DURATION)
+
+    banner("Extension — chaos recovery")
+    emit(
+        render_table(
+            ["metric", "value"],
+            [
+                ["outage", f"{OUTAGE_START:.0f}–{OUTAGE_END:.0f} s"],
+                ["max-min reference", f"{target / 1e6:.2f} Mb/s"],
+                ["time to 90% of reference", f"{reconverge:.2f} s"],
+                ["tail rate (last 5 s)", f"{tail_rate / 1e6:.2f} Mb/s"],
+            ],
+        )
+    )
+
+    # During the outage the pinned flow must be fully parked.
+    outage_rate = engine.stats.rate_in_window(
+        "pinned", OUTAGE_START + 0.5, OUTAGE_END
+    )
+    assert outage_rate == 0.0
+    # Fresh DRR state on resume makes reconvergence near-immediate.
+    assert reconverge < 2.0
+    assert abs(tail_rate - target) / target < 0.10

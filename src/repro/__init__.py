@@ -37,14 +37,28 @@ from .fairness.conformance import run_conformance
 from .errors import (
     ConfigurationError,
     FairnessError,
+    FaultError,
     HeaderError,
     HttpError,
     PreferenceError,
     ReproError,
     SchedulingError,
     SimulationError,
+    WatchdogError,
 )
 from .fairness.waterfill import Allocation, weighted_maxmin
+from .faults.chaos import ChaosReport, build_default_chaos, run_chaos
+from .faults.processes import (
+    CapacityCollapse,
+    ChecksumVerifier,
+    GilbertElliottFlapper,
+    PacketCorruptionInjector,
+    PacketLossInjector,
+    PreferenceChurner,
+)
+from .faults.timeline import FaultEvent, FaultTimeline
+from .health.invariants import MiDrrInvariantChecker
+from .health.watchdog import Alert, Watchdog
 from .net.flow import Flow
 from .net.interface import CapacityStep, Interface
 from .net.packet import Packet
@@ -59,27 +73,39 @@ from .sim.simulator import Simulator
 __version__ = "1.0.0"
 
 __all__ = [
+    "Alert",
     "Allocation",
     "AnyInterface",
+    "CapacityCollapse",
     "CapacityStep",
+    "ChaosReport",
+    "ChecksumVerifier",
     "ConfigurationError",
     "DevicePolicy",
     "DrrScheduler",
     "Except",
     "ExperimentResult",
     "FairnessError",
+    "FaultError",
+    "FaultEvent",
+    "FaultTimeline",
     "Flow",
     "FlowSpec",
+    "GilbertElliottFlapper",
     "HeaderError",
     "HttpError",
     "Interface",
     "InterfaceSpec",
+    "MiDrrInvariantChecker",
     "MiDrrScheduler",
     "MobileDevice",
     "Only",
     "Packet",
+    "PacketCorruptionInjector",
+    "PacketLossInjector",
     "PerInterfaceScheduler",
     "Prefer",
+    "PreferenceChurner",
     "PreferenceError",
     "PreferenceSet",
     "ReproError",
@@ -90,7 +116,11 @@ __all__ = [
     "Simulator",
     "StaticSplitScheduler",
     "TrafficSpec",
+    "Watchdog",
+    "WatchdogError",
     "WfqScheduler",
+    "build_default_chaos",
+    "run_chaos",
     "run_conformance",
     "run_scenario",
     "weighted_maxmin",

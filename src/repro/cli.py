@@ -10,6 +10,7 @@ Usage::
     midrr ideal           # E9: Figure 4 ideal proxy vs HTTP proxy
     midrr fct             # E13: completion times under churn
     midrr all             # every figure
+    midrr chaos --seed 7 --duration 60        # seeded fault-injection run
     midrr run scenario.json --scheduler wfq   # replay a stored scenario
     midrr solve --interface if1=3e6 --interface if2=10e6 \\
                 --flow a:1:if1 --flow b:2:if1,if2 --flow c:1:if2
@@ -27,6 +28,7 @@ from .core.runner import run_scenario
 from .core.scenario import Scenario
 from .errors import ReproError
 from .experiments import fct, fig1, fig6, fig7, fig9, fig10, inbound_ideal
+from .faults.chaos import run_chaos
 from .schedulers.midrr import MiDrrScheduler
 from .schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
 from .fairness.waterfill import weighted_maxmin
@@ -270,6 +272,25 @@ def cmd_fct(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_chaos(args: argparse.Namespace) -> None:
+    """Run the seeded chaos scenario and print the fault/recovery report.
+
+    Exits with status 2 if the invariant checker recorded any violation
+    during the run — the signal CI watches for.
+    """
+    report = run_chaos(
+        seed=args.seed, duration=args.duration, with_churn=not args.no_churn
+    )
+    _print(report.to_text())
+    if report.invariant_violations:
+        print(
+            f"error: {len(report.invariant_violations)} invariant "
+            "violation(s) during chaos run",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
 SCHEDULER_CHOICES = {
     "midrr": MiDrrScheduler,
     "midrr-counter": lambda: MiDrrScheduler(exclusion="counter"),
@@ -375,6 +396,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--light", action="store_true", help="omit the elephant")
     p.set_defaults(func=cmd_fct)
+
+    p = sub.add_parser("chaos", help="seeded fault-injection run + report")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument(
+        "--no-churn", action="store_true", help="disable weight churn"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("run", help="run a scenario JSON file")
     p.add_argument("scenario", help="path to a Scenario.to_dict() JSON document")

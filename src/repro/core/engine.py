@@ -10,6 +10,15 @@ retires flows whose transfers complete.
 The engine is scheduler-agnostic: miDRR and every baseline run under
 the identical harness, so measured differences are attributable to the
 algorithm alone.
+
+Graceful degradation (chaos runs, ``docs/fault_model.md``): when every
+interface in a flow's Π-set goes down, the flow is **quarantined** —
+removed from the scheduler so it accrues no deficit and burns no
+scheduler cycles, while its backlog and identity are retained. The
+moment any willing interface comes back the flow is resumed with fresh
+DRR state (zero deficit, clear service flags) and the recovered
+interface is kicked, so reconvergence to the weighted max-min share
+starts immediately.
 """
 
 from __future__ import annotations
@@ -47,7 +56,9 @@ class SchedulingEngine:
         self._interfaces: Dict[str, Interface] = {}
         self._flows: Dict[str, Flow] = {}
         self._sources: Dict[str, ExhaustibleSource] = {}
+        self._quarantined: Dict[str, Flow] = {}
         self._completion_listeners: List[Callable[[Flow], None]] = []
+        self._quarantine_listeners: List[Callable[[Flow, bool], None]] = []
         self.stats = stats if stats is not None else StatsCollector(sim)
 
     @property
@@ -62,8 +73,13 @@ class SchedulingEngine:
 
     @property
     def flows(self) -> Dict[str, Flow]:
-        """Currently active flows by id."""
+        """Currently active flows by id (includes quarantined flows)."""
         return dict(self._flows)
+
+    @property
+    def quarantined_flows(self) -> Dict[str, Flow]:
+        """Flows currently parked because their whole Π-set is down."""
+        return dict(self._quarantined)
 
     # ------------------------------------------------------------------
     # Topology
@@ -78,6 +94,7 @@ class SchedulingEngine:
         self._scheduler.register_interface(interface.interface_id)
         interface.attach_source(self._supply_packet)
         interface.on_sent(self._packet_sent)
+        interface.on_state_change(self._interface_state_changed)
         self.stats.watch(interface)
 
     def add_flow(self, flow: Flow, source: Optional[ExhaustibleSource] = None) -> None:
@@ -87,14 +104,28 @@ class SchedulingEngine:
         drains with the source exhausted, the flow is marked completed
         and removed from the scheduler — reproducing the paper's
         "flow a completed after 66 s" dynamics.
+
+        A flow added while its entire Π-set is down goes straight into
+        quarantine instead of the scheduler.
         """
         if flow.flow_id in self._flows:
             raise ConfigurationError(f"flow {flow.flow_id!r} already registered")
         self._flows[flow.flow_id] = flow
         if source is not None:
             self._sources[flow.flow_id] = source
-        self._scheduler.add_flow(flow)
         flow.on_arrival(self._packet_arrived)
+        flow.on_drop(self._packet_dropped)
+        willing = [
+            interface
+            for interface in self._interfaces.values()
+            if flow.willing_to_use(interface.interface_id)
+        ]
+        if willing and not any(interface.up for interface in willing):
+            # The whole Π-set is dark right now: park the flow instead
+            # of handing the scheduler a flow it can never serve.
+            self._enter_quarantine(flow)
+            return
+        self._scheduler.add_flow(flow)
         if flow.backlogged:
             self._scheduler.notify_backlogged(flow)
             self._kick_willing(flow)
@@ -103,12 +134,86 @@ class SchedulingEngine:
         """Deregister a flow (policy change or completion)."""
         flow = self._flows.pop(flow_id, None)
         self._sources.pop(flow_id, None)
+        self._quarantined.pop(flow_id, None)
         if flow is not None:
             self._scheduler.remove_flow(flow_id)
 
     def on_flow_completed(self, listener: Callable[[Flow], None]) -> None:
         """Register a callback fired when a flow's transfer finishes."""
         self._completion_listeners.append(listener)
+
+    def on_quarantine_change(self, listener: Callable[[Flow, bool], None]) -> None:
+        """Register ``listener(flow, quarantined)`` for degradation events.
+
+        Fired with ``True`` when a flow enters quarantine (its whole
+        Π-set went down) and ``False`` when it resumes.
+        """
+        self._quarantine_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation under interface churn
+    # ------------------------------------------------------------------
+    def _any_willing_interface_up(self, flow: Flow) -> bool:
+        return any(
+            interface.up
+            for interface in self._interfaces.values()
+            if flow.willing_to_use(interface.interface_id)
+        )
+
+    def _enter_quarantine(self, flow: Flow) -> None:
+        if flow.flow_id in self._quarantined:
+            return
+        self._quarantined[flow.flow_id] = flow
+        # Out of the scheduler: no deficit accrual, no flag churn, no
+        # wasted skip scans while the flow cannot possibly be served.
+        self._scheduler.remove_flow(flow.flow_id)
+        for listener in self._quarantine_listeners:
+            listener(flow, True)
+
+    def _resume_from_quarantine(self, flow: Flow) -> None:
+        if self._quarantined.pop(flow.flow_id, None) is None:
+            return
+        # Re-adding yields fresh DRR state: zero deficits, clear flags
+        # ("service flags for new flows are initiated at zero", Table 1).
+        self._scheduler.add_flow(flow)
+        if flow.backlogged:
+            self._scheduler.notify_backlogged(flow)
+            self._kick_willing(flow)
+        for listener in self._quarantine_listeners:
+            listener(flow, False)
+
+    def notify_preferences_changed(self, flow_id: str) -> None:
+        """Re-evaluate a flow after a live Π/φ edit (preference churn).
+
+        Quarantines the flow if its new Π-set is entirely down, resumes
+        it if the edit re-opened a path, and otherwise wakes the
+        interfaces that just became usable.
+        """
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            return
+        alive = self._any_willing_interface_up(flow)
+        if flow_id in self._quarantined:
+            if alive:
+                self._resume_from_quarantine(flow)
+            return
+        if not alive and self._interfaces:
+            self._enter_quarantine(flow)
+            return
+        self._scheduler.notify_backlogged(flow)
+        self._kick_willing(flow)
+
+    def _interface_state_changed(self, interface: Interface, is_up: bool) -> None:
+        if is_up:
+            for flow in list(self._quarantined.values()):
+                if flow.willing_to_use(interface.interface_id):
+                    self._resume_from_quarantine(flow)
+            return
+        for flow in list(self._flows.values()):
+            if flow.flow_id in self._quarantined:
+                continue
+            if not self._any_willing_interface_up(flow):
+                self._enter_quarantine(flow)
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -119,6 +224,10 @@ class SchedulingEngine:
     def _packet_arrived(self, flow: Flow, packet: Packet) -> None:
         if flow.flow_id not in self._flows:
             return
+        if flow.flow_id in self._quarantined:
+            # Parked: keep the backlog but wake nobody — every willing
+            # interface is down anyway.
+            return
         if len(flow.queue) == 1:
             # Empty → backlogged transition: tell the scheduler, then
             # wake any idle interface this flow is willing to use. The
@@ -126,6 +235,10 @@ class SchedulingEngine:
             # refill → arrival → kick → pull → refill recursion.
             self._scheduler.notify_backlogged(flow)
             self._sim.call_now(self._kick_willing, flow)
+
+    def _packet_dropped(self, flow: Flow, packet: Packet) -> None:
+        if flow.flow_id in self._flows:
+            self.stats.record_drop(flow.flow_id, packet.size_bytes)
 
     def _kick_willing(self, flow: Flow) -> None:
         for interface in self._interfaces.values():

@@ -46,3 +46,17 @@ class HttpError(ReproError):
 
 class FairnessError(ReproError):
     """A fair-allocation solver failed or produced an invalid result."""
+
+
+class FaultError(ReproError):
+    """A fault-injection process was configured or driven incorrectly.
+
+    Examples: a Gilbert–Elliott flapper with non-positive dwell times,
+    a corruption injector asked to corrupt a packet without wire bytes,
+    or a chaos schedule that references an unknown interface.
+    """
+
+
+class WatchdogError(ReproError):
+    """The health watchdog was misconfigured, or — in strict mode — a
+    runtime invariant it monitors was violated."""

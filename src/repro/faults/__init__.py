@@ -1,0 +1,43 @@
+"""Deterministic, seed-driven fault injection.
+
+Every fault process schedules its transitions on the simulator's event
+heap and draws from a named :class:`~repro.sim.randomness.RandomStreams`
+stream, so a chaos run is exactly as reproducible as any other
+experiment: same seed, same fault timeline, same byte counts.
+
+Fault taxonomy (see ``docs/fault_model.md``):
+
+* :class:`GilbertElliottFlapper` — bursty interface up/down churn;
+* :class:`CapacityCollapse` — capacity collapse followed by a staged
+  recovery ramp;
+* :class:`PacketLossInjector` — per-interface Bernoulli packet loss;
+* :class:`PacketCorruptionInjector` — per-interface byte corruption,
+  caught downstream by :class:`ChecksumVerifier` using the real
+  :mod:`repro.net.headers` checksums;
+* :class:`PreferenceChurner` — mid-run weight / Π churn.
+"""
+
+from .chaos import ChaosReport, build_default_chaos, run_chaos
+from .processes import (
+    CapacityCollapse,
+    ChecksumVerifier,
+    GilbertElliottFlapper,
+    PacketCorruptionInjector,
+    PacketLossInjector,
+    PreferenceChurner,
+)
+from .timeline import FaultEvent, FaultTimeline
+
+__all__ = [
+    "CapacityCollapse",
+    "ChaosReport",
+    "ChecksumVerifier",
+    "FaultEvent",
+    "FaultTimeline",
+    "GilbertElliottFlapper",
+    "PacketCorruptionInjector",
+    "PacketLossInjector",
+    "PreferenceChurner",
+    "build_default_chaos",
+    "run_chaos",
+]

@@ -1,0 +1,72 @@
+"""The fault timeline: an append-only, hashable record of fault events.
+
+Chaos determinism is asserted over this object: two runs with the same
+seed must produce byte-identical timelines (``signature()``), and the
+rendered lines are what ``midrr chaos`` prints as the fault report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or recovery action.
+
+    ``kind`` is a short verb (``if_down``, ``if_up``, ``capacity``,
+    ``loss``, ``corrupt``, ``corrupt_detected``, ``weight``, ``prefs``,
+    ``quarantine``, ``resume``); ``target`` names the interface or
+    flow; ``detail`` is a stable, human-readable payload.
+    """
+
+    time: float
+    kind: str
+    target: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """A stable one-line rendering (the unit of the signature)."""
+        return f"{self.time:.9f} {self.kind} {self.target} {self.detail}".rstrip()
+
+
+class FaultTimeline:
+    """Append-only ordered record of :class:`FaultEvent`."""
+
+    def __init__(self) -> None:
+        self._events: List[FaultEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The recorded events, in record order."""
+        return tuple(self._events)
+
+    def record(self, time: float, kind: str, target: str, detail: str = "") -> FaultEvent:
+        """Append one event and return it."""
+        event = FaultEvent(time=time, kind=kind, target=target, detail=detail)
+        self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        """Every recorded event of the given *kind*."""
+        return [event for event in self._events if event.kind == kind]
+
+    def render_lines(self) -> List[str]:
+        """One stable line per event."""
+        return [event.render() for event in self._events]
+
+    def signature(self) -> str:
+        """SHA-256 over the rendered lines — the determinism fingerprint."""
+        digest = hashlib.sha256()
+        for line in self.render_lines():
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()

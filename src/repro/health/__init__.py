@@ -1,0 +1,26 @@
+"""Runtime health monitoring: watchdog sampling and invariant checks.
+
+The :class:`Watchdog` periodically samples a
+:class:`~repro.core.engine.SchedulingEngine` and raises structured
+:class:`Alert` records for flow starvation and interface stalls; the
+:class:`MiDrrInvariantChecker` validates the scheduler's internal state
+(deficit counters, service flags, turn bookkeeping) during chaos runs.
+"""
+
+from .invariants import MiDrrInvariantChecker
+from .watchdog import (
+    ALERT_FLOW_STARVATION,
+    ALERT_INTERFACE_STALL,
+    ALERT_INVARIANT_VIOLATION,
+    Alert,
+    Watchdog,
+)
+
+__all__ = [
+    "ALERT_FLOW_STARVATION",
+    "ALERT_INTERFACE_STALL",
+    "ALERT_INVARIANT_VIOLATION",
+    "Alert",
+    "MiDrrInvariantChecker",
+    "Watchdog",
+]

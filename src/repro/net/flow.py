@@ -27,6 +27,7 @@ class Flow:
         weight: float = 1.0,
         allowed_interfaces: Optional[Iterable[str]] = None,
         max_queue_bytes: Optional[int] = None,
+        queue_policy: str = "drop-tail",
     ) -> None:
         if not flow_id:
             raise ConfigurationError("flow_id must be non-empty")
@@ -44,12 +45,14 @@ class Flow:
                 f"flow {flow_id!r}: empty interface preference set — the flow "
                 "could never be served"
             )
-        self.queue = FlowQueue(flow_id, max_bytes=max_queue_bytes)
+        self.queue = FlowQueue(flow_id, max_bytes=max_queue_bytes, policy=queue_policy)
         self.bytes_sent = 0
         self.packets_sent = 0
         self.completed_at: Optional[float] = None
         self._arrival_listeners: List[Callable[["Flow", Packet], None]] = []
         self._dequeue_listeners: List[Callable[["Flow", Packet], None]] = []
+        self._drop_listeners: List[Callable[["Flow", Packet], None]] = []
+        self.queue.set_drop_listener(self._dropped)
 
     # ------------------------------------------------------------------
     # Preferences
@@ -99,6 +102,18 @@ class Flow:
             for listener in self._arrival_listeners:
                 listener(self, packet)
         return accepted
+
+    def on_drop(self, listener: Callable[["Flow", Packet], None]) -> None:
+        """Register a callback fired when the backlog discards a packet.
+
+        The engine subscribes here so chaos reports can attribute queue
+        loss per flow through ``engine.stats``.
+        """
+        self._drop_listeners.append(listener)
+
+    def _dropped(self, packet: Packet) -> None:
+        for listener in self._drop_listeners:
+            listener(self, packet)
 
     def on_dequeue(self, listener: Callable[["Flow", Packet], None]) -> None:
         """Register a callback fired when a packet leaves the backlog.

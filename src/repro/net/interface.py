@@ -12,6 +12,28 @@ flight completes at the rate it started with. Capacity steps in the
 paper's experiments happen on multi-second timescales against
 millisecond packet times, so this simplification is invisible in the
 results while keeping the event math exact.
+
+Up/down semantics (chaos runs depend on these — see
+``docs/fault_model.md``):
+
+* :meth:`bring_down` is administrative: the packet in flight completes
+  at full fidelity and its completion listeners still fire (service
+  accounting must not lose the packet), but the post-completion pull is
+  suppressed — the interface takes no new work until :meth:`bring_up`.
+* Both transitions are idempotent and observable through
+  :meth:`on_state_change` listeners, which is how the engine learns to
+  quarantine flows whose entire Π-set went dark.
+* :meth:`set_rate` while down is legal and *deferred*: the new rate is
+  recorded and governs the first transmission after recovery. A
+  :class:`CapacityStep` scheduled before an outage therefore still
+  lands if it fires mid-outage — the race between ``bring_down`` and a
+  pending step cannot corrupt the transmit path because rate changes
+  never pull packets.
+
+Egress filters support fault injection: each completed transmission is
+offered to the registered filters in order, and any filter returning
+``False`` consumes the packet (loss/corruption discard) — the sent
+listeners never see it, so it counts as transmitted but not delivered.
 """
 
 from __future__ import annotations
@@ -31,6 +53,13 @@ PacketSource = Callable[["Interface"], Optional[Packet]]
 
 #: Signature of transmission-complete listeners.
 SentListener = Callable[["Interface", Packet], None]
+
+#: Signature of up/down listeners: ``listener(interface, is_up)``.
+StateListener = Callable[["Interface", bool], None]
+
+#: Signature of egress filters: return ``True`` to deliver the packet,
+#: ``False`` to consume it (loss injection / corruption discard).
+EgressFilter = Callable[["Interface", Packet], bool]
 
 
 @dataclass(frozen=True)
@@ -69,12 +98,18 @@ class Interface:
         self._trace = trace
         self._source: Optional[PacketSource] = None
         self._sent_listeners: List[SentListener] = []
+        self._state_listeners: List[StateListener] = []
+        self._egress_filters: List[EgressFilter] = []
         self._busy = False
         self._pulling = False
         self._up = True
+        self._down_since: Optional[float] = None
         self.bytes_sent = 0
         self.packets_sent = 0
+        self.packets_consumed = 0
         self.busy_time = 0.0
+        self.down_count = 0
+        self.down_time = 0.0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -91,6 +126,20 @@ class Interface:
         """Register a callback fired after each completed transmission."""
         self._sent_listeners.append(listener)
 
+    def on_state_change(self, listener: StateListener) -> None:
+        """Register a callback fired on every up/down transition."""
+        self._state_listeners.append(listener)
+
+    def add_egress_filter(self, egress_filter: EgressFilter) -> None:
+        """Append an egress filter (fault injectors, checksum verifiers).
+
+        Filters run in registration order after each transmission; the
+        first one returning ``False`` consumes the packet and the sent
+        listeners are skipped (the packet was transmitted but never
+        delivered).
+        """
+        self._egress_filters.append(egress_filter)
+
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------
@@ -100,7 +149,12 @@ class Interface:
         return self._rate_bps
 
     def set_rate(self, rate_bps: float) -> None:
-        """Change the line rate (affects the next transmission)."""
+        """Change the line rate (affects the next transmission).
+
+        Legal while down: the rate is recorded now and takes effect on
+        the first transmission after :meth:`bring_up`, so capacity
+        steps pending when an outage hits are not lost.
+        """
         if rate_bps <= 0:
             raise ConfigurationError(
                 f"interface {self.interface_id!r}: rate must be positive, got {rate_bps}"
@@ -112,7 +166,12 @@ class Interface:
             )
 
     def apply_capacity_schedule(self, steps: Sequence[CapacityStep]) -> None:
-        """Schedule future :class:`CapacityStep` changes on the simulator."""
+        """Schedule future :class:`CapacityStep` changes on the simulator.
+
+        Steps that fire while the interface is down still update the
+        recorded rate (see :meth:`set_rate`); they never restart
+        transmission on a downed interface.
+        """
         for step in steps:
             self._sim.schedule(step.time, self.set_rate, step.rate_bps)
 
@@ -125,14 +184,34 @@ class Interface:
         return self._up
 
     def bring_down(self) -> None:
-        """Administratively disable; the in-flight packet still completes."""
+        """Administratively disable. Idempotent.
+
+        The in-flight packet (if any) completes normally and its
+        completion listeners fire; no new packet is pulled until
+        :meth:`bring_up`.
+        """
+        if not self._up:
+            return
         self._up = False
+        self.down_count += 1
+        self._down_since = self._sim.now
+        if self._trace is not None:
+            self._trace.emit(self._sim.now, self.interface_id, "down")
+        for listener in self._state_listeners:
+            listener(self, False)
 
     def bring_up(self) -> None:
-        """Re-enable and immediately look for work."""
+        """Re-enable and immediately look for work. Idempotent."""
         if self._up:
             return
         self._up = True
+        if self._down_since is not None:
+            self.down_time += self._sim.now - self._down_since
+            self._down_since = None
+        if self._trace is not None:
+            self._trace.emit(self._sim.now, self.interface_id, "up")
+        for listener in self._state_listeners:
+            listener(self, True)
         self.kick()
 
     # ------------------------------------------------------------------
@@ -147,7 +226,8 @@ class Interface:
         """Pull the next packet from the source if currently idle.
 
         Safe to call at any time; the engine calls it on packet arrivals
-        and after capacity/topology changes.
+        and after capacity/topology changes. A downed interface ignores
+        kicks entirely.
         """
         if self._busy or self._pulling or not self._up:
             return
@@ -192,10 +272,19 @@ class Interface:
                 flow_id=packet.flow_id,
                 size_bytes=packet.size_bytes,
             )
-        for listener in self._sent_listeners:
-            listener(self, packet)
+        delivered = True
+        for egress_filter in self._egress_filters:
+            if not egress_filter(self, packet):
+                delivered = False
+                self.packets_consumed += 1
+                break
+        if delivered:
+            for listener in self._sent_listeners:
+                listener(self, packet)
         # Look for more work only after listeners ran, so rate stats and
         # service flags are consistent when the next decision is made.
+        # (kick() is a no-op while down — completion during an outage
+        # must not restart transmission.)
         self.kick()
 
     def utilization(self, elapsed: Optional[float] = None) -> float:

@@ -1,7 +1,12 @@
 """Per-flow packet queues.
 
 :class:`FlowQueue` is the backlog the schedulers inspect: a FIFO with
-byte accounting and an optional capacity bound with drop-tail semantics.
+byte accounting and an optional capacity bound. Two overflow policies
+exist: ``"drop-tail"`` rejects the arriving packet (the classical
+router default), ``"drop-head"`` evicts the oldest queued packets to
+make room for the new one — the right policy when fresher data is more
+valuable than stale data (live streams, telemetry) and the one chaos
+runs use so loss attribution points at the backlog that aged out.
 """
 
 from __future__ import annotations
@@ -12,6 +17,9 @@ from typing import Callable, Deque, Iterator, List, Optional
 from ..errors import ConfigurationError
 from .packet import Packet
 
+#: Valid overflow policies for a bounded :class:`FlowQueue`.
+DROP_POLICIES = ("drop-tail", "drop-head")
+
 
 class FlowQueue:
     """A FIFO of packets for a single flow with byte accounting.
@@ -21,10 +29,14 @@ class FlowQueue:
     flow_id:
         The owning flow (stored for diagnostics; enqueue asserts match).
     max_bytes:
-        Optional drop-tail bound. ``None`` means unbounded, which is the
+        Optional capacity bound. ``None`` means unbounded, which is the
         right model for the paper's always-backlogged experiments.
     on_drop:
         Optional callback invoked with each dropped packet.
+    policy:
+        Overflow policy for a bounded queue: ``"drop-tail"`` (default)
+        discards the arriving packet; ``"drop-head"`` evicts queued
+        packets from the head until the arrival fits.
     """
 
     def __init__(
@@ -32,11 +44,17 @@ class FlowQueue:
         flow_id: str,
         max_bytes: Optional[int] = None,
         on_drop: Optional[Callable[[Packet], None]] = None,
+        policy: str = "drop-tail",
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
+        if policy not in DROP_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {DROP_POLICIES}, got {policy!r}"
+            )
         self.flow_id = flow_id
         self.max_bytes = max_bytes
+        self.policy = policy
         self._on_drop = on_drop
         self._packets: Deque[Packet] = deque()
         self._backlog_bytes = 0
@@ -63,17 +81,17 @@ class FlowQueue:
 
     @property
     def dropped_packets(self) -> int:
-        """Packets discarded by drop-tail so far."""
+        """Packets discarded by the overflow policy so far."""
         return self._dropped_packets
 
     @property
     def dropped_bytes(self) -> int:
-        """Bytes discarded by drop-tail so far."""
+        """Bytes discarded by the overflow policy so far."""
         return self._dropped_bytes
 
     @property
     def enqueued_packets(self) -> int:
-        """Packets accepted so far (excludes drops)."""
+        """Packets accepted so far (excludes drop-tail rejections)."""
         return self._enqueued_packets
 
     def head(self) -> Optional[Packet]:
@@ -88,22 +106,49 @@ class FlowQueue:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def set_drop_listener(self, on_drop: Optional[Callable[[Packet], None]]) -> None:
+        """Install (or replace) the per-drop callback.
+
+        The engine uses this to attribute queue loss to flows in its
+        :class:`~repro.net.sink.StatsCollector` without the queue's
+        creator having to know about the engine.
+        """
+        self._on_drop = on_drop
+
+    def _drop(self, packet: Packet) -> None:
+        self._dropped_packets += 1
+        self._dropped_bytes += packet.size_bytes
+        if self._on_drop is not None:
+            self._on_drop(packet)
+
     def enqueue(self, packet: Packet) -> bool:
-        """Append *packet*; returns ``False`` if drop-tail discarded it."""
+        """Append *packet*; returns ``False`` if it was not accepted.
+
+        With ``"drop-tail"`` an overflowing arrival is rejected. With
+        ``"drop-head"`` queued packets are evicted oldest-first until
+        the arrival fits (an arrival larger than ``max_bytes`` by
+        itself is still rejected — there is no room to make).
+        """
         if packet.flow_id != self.flow_id:
             raise ConfigurationError(
                 f"packet for flow {packet.flow_id!r} enqueued on queue "
                 f"for flow {self.flow_id!r}"
             )
-        if (
-            self.max_bytes is not None
-            and self._backlog_bytes + packet.size_bytes > self.max_bytes
-        ):
-            self._dropped_packets += 1
-            self._dropped_bytes += packet.size_bytes
-            if self._on_drop is not None:
-                self._on_drop(packet)
-            return False
+        if self.max_bytes is not None:
+            if packet.size_bytes > self.max_bytes:
+                self._drop(packet)
+                return False
+            if self._backlog_bytes + packet.size_bytes > self.max_bytes:
+                if self.policy == "drop-tail":
+                    self._drop(packet)
+                    return False
+                while (
+                    self._packets
+                    and self._backlog_bytes + packet.size_bytes > self.max_bytes
+                ):
+                    evicted = self._packets.popleft()
+                    self._backlog_bytes -= evicted.size_bytes
+                    self._drop(evicted)
         self._packets.append(packet)
         self._backlog_bytes += packet.size_bytes
         self._enqueued_packets += 1

@@ -43,6 +43,8 @@ class StatsCollector:
         self._bytes_by_flow: Dict[str, int] = defaultdict(int)
         self._bytes_by_interface: Dict[str, int] = defaultdict(int)
         self._bytes_by_pair: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._drops_by_flow: Dict[str, int] = defaultdict(int)
+        self._drop_bytes_by_flow: Dict[str, int] = defaultdict(int)
 
     def watch(self, *interfaces: Interface) -> "StatsCollector":
         """Subscribe to the given interfaces' completion events."""
@@ -82,6 +84,27 @@ class StatsCollector:
         self._bytes_by_flow[flow_id] += size_bytes
         self._bytes_by_interface[interface_id] += size_bytes
         self._bytes_by_pair[(flow_id, interface_id)] += size_bytes
+
+    def record_drop(self, flow_id: str, size_bytes: int) -> None:
+        """Account one packet discarded before service (queue overflow).
+
+        Chaos reports read these counters to attribute loss per flow;
+        the engine feeds them from every flow's drop hook.
+        """
+        self._drops_by_flow[flow_id] += 1
+        self._drop_bytes_by_flow[flow_id] += size_bytes
+
+    def dropped_packets(self, flow_id: str) -> int:
+        """Packets discarded from *flow_id*'s backlog so far."""
+        return self._drops_by_flow.get(flow_id, 0)
+
+    def dropped_bytes(self, flow_id: str) -> int:
+        """Bytes discarded from *flow_id*'s backlog so far."""
+        return self._drop_bytes_by_flow.get(flow_id, 0)
+
+    def drops_by_flow(self) -> Dict[str, int]:
+        """Per-flow dropped-packet counts (flows with no drops absent)."""
+        return dict(self._drops_by_flow)
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -12,7 +12,7 @@ class TestParser:
 
     def test_known_commands_parse(self):
         parser = build_parser()
-        for command in ("fig1", "fig6", "fig7", "fig9", "fig10", "all"):
+        for command in ("fig1", "fig6", "fig7", "fig9", "fig10", "chaos", "all"):
             args = parser.parse_args([command])
             assert callable(args.func)
 
@@ -124,6 +124,23 @@ class TestRunCommand:
         path = self._write_scenario(tmp_path)
         with pytest.raises(SystemExit):
             main(["run", str(path), "--scheduler", "nope"])
+
+
+class TestChaosCommand:
+    def test_chaos_flags_parse(self):
+        args = build_parser().parse_args(
+            ["chaos", "--seed", "9", "--duration", "25", "--no-churn"]
+        )
+        assert args.seed == 9
+        assert args.duration == 25.0
+        assert args.no_churn is True
+
+    def test_chaos_runs_and_reports(self, capsys):
+        assert main(["chaos", "--seed", "1", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos run: seed=1" in out
+        assert "fault signature:" in out
+        assert "stats signature:" in out
 
 
 class TestFctCommand:

@@ -1,0 +1,338 @@
+"""Unit tests for the fault-injection processes and the fault timeline."""
+
+import random
+
+import pytest
+
+from repro.core.engine import SchedulingEngine
+from repro.errors import FaultError, HeaderError
+from repro.faults.chaos import _wire_packet
+from repro.faults.processes import (
+    CapacityCollapse,
+    ChecksumVerifier,
+    GilbertElliottFlapper,
+    PacketCorruptionInjector,
+    PacketLossInjector,
+    PreferenceChurner,
+    verify_wire_packet,
+)
+from repro.faults.timeline import FaultEvent, FaultTimeline
+from repro.net.flow import Flow
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+from repro.net.sources import BulkSource
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.sim.simulator import Simulator
+from repro.units import mbps
+
+
+def idle_interface(sim, name="if1", rate=mbps(1)):
+    """An interface whose source never has work (safe to flap)."""
+    interface = Interface(sim, name, rate)
+    interface.attach_source(lambda i: None)
+    return interface
+
+
+def feeding_interface(sim, count=5, size=1000, rate=80_000, name="if1"):
+    """An interface with *count* packets of backlog, then idle."""
+    interface = Interface(sim, name, rate)
+    remaining = [Packet(flow_id="f", size_bytes=size) for _ in range(count)]
+    interface.attach_source(lambda i: remaining.pop(0) if remaining else None)
+    return interface
+
+
+class TestGilbertElliottFlapper:
+    @pytest.mark.parametrize("kwargs", [{"mean_up": 0}, {"mean_down": -1}])
+    def test_invalid_dwell_rejected(self, sim, kwargs):
+        with pytest.raises(FaultError):
+            GilbertElliottFlapper(
+                sim, idle_interface(sim), random.Random(0), **kwargs
+            )
+
+    def test_flaps_then_restores_at_until(self, sim):
+        interface = idle_interface(sim)
+        timeline = FaultTimeline()
+        flapper = GilbertElliottFlapper(
+            sim,
+            interface,
+            random.Random(3),
+            mean_up=1.0,
+            mean_down=0.5,
+            until=20.0,
+            timeline=timeline,
+        )
+        sim.run(until=30.0)
+        assert interface.up  # restored once the fault window closed
+        assert flapper.transitions >= 2
+        kinds = [event.kind for event in timeline]
+        assert kinds[0] == "if_down"
+        for first, second in zip(kinds, kinds[1:]):
+            assert first != second  # strictly alternating
+        assert all(event.time <= 20.0 or event.kind == "if_up" for event in timeline)
+
+    def test_down_time_accumulates(self, sim):
+        interface = idle_interface(sim)
+        GilbertElliottFlapper(
+            sim, interface, random.Random(3), mean_up=1.0, mean_down=0.5, until=20.0
+        )
+        sim.run(until=30.0)
+        assert interface.down_count >= 1
+        assert interface.down_time > 0.0
+
+    def test_deterministic_given_seed(self):
+        def signature(seed):
+            sim = Simulator()
+            timeline = FaultTimeline()
+            GilbertElliottFlapper(
+                sim,
+                idle_interface(sim),
+                random.Random(seed),
+                mean_up=1.0,
+                mean_down=0.5,
+                until=15.0,
+                timeline=timeline,
+            )
+            sim.run(until=20.0)
+            return timeline.signature()
+
+        assert signature(5) == signature(5)
+        assert signature(5) != signature(6)
+
+
+class TestCapacityCollapse:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"collapse_factor": 0.0},
+            {"collapse_factor": 1.0},
+            {"recover_at": 1.0},  # before the collapse at t=5
+            {"ramp_steps": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, sim, kwargs):
+        params = dict(at=5.0, recover_at=10.0)
+        params.update(kwargs)
+        with pytest.raises(FaultError):
+            CapacityCollapse(sim, idle_interface(sim), **params)
+
+    def test_collapse_then_staged_ramp_back(self, sim):
+        interface = idle_interface(sim, rate=mbps(8))
+        timeline = FaultTimeline()
+        CapacityCollapse(
+            sim,
+            interface,
+            at=5.0,
+            recover_at=10.0,
+            collapse_factor=0.25,
+            ramp_steps=4,
+            ramp_duration=2.0,
+            timeline=timeline,
+        )
+        sim.run(until=6.0)
+        assert interface.rate_bps == pytest.approx(mbps(2))
+        sim.run(until=10.6)
+        assert mbps(2) < interface.rate_bps < mbps(8)  # mid-ramp
+        sim.run(until=12.0)
+        assert interface.rate_bps == pytest.approx(mbps(8))
+        assert len(timeline.of_kind("capacity")) == 5  # collapse + 4 steps
+
+    def test_collapse_lands_while_interface_down(self, sim):
+        interface = idle_interface(sim, rate=mbps(8))
+        CapacityCollapse(
+            sim, interface, at=5.0, recover_at=6.0, collapse_factor=0.5, ramp_steps=1
+        )
+        sim.schedule(4.0, interface.bring_down)
+        sim.run(until=5.5)
+        # The deferred set_rate semantics: recorded even while down.
+        assert not interface.up
+        assert interface.rate_bps == pytest.approx(mbps(4))
+
+
+class TestPacketLossInjector:
+    @pytest.mark.parametrize("probability", [-0.1, 1.5])
+    def test_invalid_probability_rejected(self, sim, probability):
+        with pytest.raises(FaultError):
+            PacketLossInjector(sim, idle_interface(sim), random.Random(0), probability)
+
+    def test_certain_loss_consumes_every_packet(self, sim):
+        interface = feeding_interface(sim, count=5)
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        timeline = FaultTimeline()
+        injector = PacketLossInjector(
+            sim, interface, random.Random(0), 1.0, timeline=timeline
+        )
+        interface.kick()
+        sim.run()
+        assert injector.packets_lost == 5
+        assert delivered == []  # sent listeners never saw them
+        assert interface.packets_sent == 5  # they did occupy the link
+        assert interface.packets_consumed == 5
+        assert len(timeline.of_kind("loss")) == 5
+
+    def test_zero_probability_is_transparent(self, sim):
+        interface = feeding_interface(sim, count=5)
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        injector = PacketLossInjector(sim, interface, random.Random(0), 0.0)
+        interface.kick()
+        sim.run()
+        assert injector.packets_lost == 0
+        assert len(delivered) == 5
+        assert interface.packets_consumed == 0
+
+
+class TestCorruptionAndVerification:
+    def test_wire_packet_round_trips_clean(self):
+        packet = _wire_packet("wire", 100, 0.0)
+        verify_wire_packet(packet.wire_bytes)  # no raise
+
+    def test_manual_corruption_detected(self):
+        packet = _wire_packet("wire", 100, 0.0)
+        data = bytearray(packet.wire_bytes)
+        data[20] ^= 0xFF  # inside the IPv4 header
+        with pytest.raises(HeaderError):
+            verify_wire_packet(bytes(data))
+
+    @pytest.mark.parametrize("probability", [-0.5, 2.0])
+    def test_invalid_probability_rejected(self, sim, probability):
+        with pytest.raises(FaultError):
+            PacketCorruptionInjector(
+                sim, idle_interface(sim), random.Random(0), probability
+            )
+
+    def test_corrupt_then_verify_discards(self, sim):
+        interface = Interface(sim, "cell", 80_000)
+        remaining = [_wire_packet("wire", 200, 0.0) for _ in range(4)]
+        interface.attach_source(lambda i: remaining.pop(0) if remaining else None)
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        timeline = FaultTimeline()
+        corruptor = PacketCorruptionInjector(
+            sim, interface, random.Random(1), 1.0, timeline=timeline
+        )
+        verifier = ChecksumVerifier(sim, interface, timeline=timeline)
+        interface.kick()
+        sim.run()
+        assert corruptor.packets_corrupted == 4
+        assert verifier.corruptions_detected == 4
+        assert delivered == []
+        assert len(timeline.of_kind("corrupt")) == 4
+        assert len(timeline.of_kind("corrupt_detected")) == 4
+
+    def test_clean_wire_packets_pass_the_verifier(self, sim):
+        interface = Interface(sim, "cell", 80_000)
+        remaining = [_wire_packet("wire", 200, 0.0) for _ in range(3)]
+        interface.attach_source(lambda i: remaining.pop(0) if remaining else None)
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        verifier = ChecksumVerifier(sim, interface)
+        interface.kick()
+        sim.run()
+        assert verifier.packets_verified == 3
+        assert verifier.corruptions_detected == 0
+        assert len(delivered) == 3
+
+    def test_packets_without_wire_bytes_pass_untouched(self, sim):
+        interface = feeding_interface(sim, count=3)
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        corruptor = PacketCorruptionInjector(sim, interface, random.Random(1), 1.0)
+        verifier = ChecksumVerifier(sim, interface)
+        interface.kick()
+        sim.run()
+        assert corruptor.packets_corrupted == 0
+        assert verifier.packets_verified == 0  # vacuous pass, not verified
+        assert len(delivered) == 3
+
+
+class TestPreferenceChurner:
+    def _engine(self, sim):
+        engine = SchedulingEngine(sim, MiDrrScheduler())
+        for name in ("if1", "if2"):
+            engine.add_interface(Interface(sim, name, mbps(1)))
+        flow = Flow("a")
+        BulkSource(sim, flow)
+        engine.add_flow(flow)
+        return engine, flow
+
+    def test_invalid_params_rejected(self, sim):
+        engine, _ = self._engine(sim)
+        with pytest.raises(FaultError):
+            PreferenceChurner(sim, engine, random.Random(0), period=0)
+        with pytest.raises(FaultError):
+            PreferenceChurner(sim, engine, random.Random(0), weight_choices=())
+
+    def test_weight_churn_applied_and_recorded(self, sim):
+        engine, flow = self._engine(sim)
+        timeline = FaultTimeline()
+        churner = PreferenceChurner(
+            sim,
+            engine,
+            random.Random(0),
+            period=1.0,
+            weight_choices=(3.0,),
+            timeline=timeline,
+        )
+        engine.start()
+        sim.run(until=3.5)
+        assert flow.weight == 3.0
+        assert churner.churn_events == 3
+        assert len(timeline.of_kind("weight")) == 3
+
+    def test_pi_churn_routes_through_quarantine(self, sim):
+        engine, flow = self._engine(sim)
+        engine.interfaces["if2"].bring_down()
+        timeline = FaultTimeline()
+        PreferenceChurner(
+            sim,
+            engine,
+            random.Random(0),
+            period=1.0,
+            weight_choices=(1.0,),
+            interface_options={"a": [("if2",)]},
+            timeline=timeline,
+        )
+        engine.start()
+        sim.run(until=1.5)
+        # The churner pinned the flow to the downed interface; the edit
+        # went through notify_preferences_changed, so it is quarantined.
+        assert flow.allowed_interfaces == frozenset({"if2"})
+        assert "a" in engine.quarantined_flows
+        assert len(timeline.of_kind("prefs")) == 1
+
+    def test_stops_at_until(self, sim):
+        engine, _ = self._engine(sim)
+        churner = PreferenceChurner(
+            sim, engine, random.Random(0), period=1.0, until=2.5
+        )
+        engine.start()
+        sim.run(until=10.0)
+        assert churner.churn_events == 2
+
+
+class TestFaultTimeline:
+    def test_render_is_stable_and_hashable(self):
+        first, second = FaultTimeline(), FaultTimeline()
+        for timeline in (first, second):
+            timeline.record(1.25, "if_down", "wifi")
+            timeline.record(2.5, "loss", "cell", "flow=wire size=528")
+        assert first.render_lines() == second.render_lines()
+        assert first.signature() == second.signature()
+        second.record(3.0, "if_up", "wifi")
+        assert first.signature() != second.signature()
+        assert len(second) == 3
+
+    def test_event_render_format(self):
+        event = FaultEvent(time=1.0, kind="if_down", target="wifi")
+        assert event.render() == "1.000000000 if_down wifi"
+        detailed = FaultEvent(time=2.0, kind="weight", target="a", detail="phi=3")
+        assert detailed.render() == "2.000000000 weight a phi=3"
+
+    def test_of_kind_filters(self):
+        timeline = FaultTimeline()
+        timeline.record(1.0, "if_down", "wifi")
+        timeline.record(2.0, "if_up", "wifi")
+        timeline.record(3.0, "if_down", "cell")
+        assert [e.target for e in timeline.of_kind("if_down")] == ["wifi", "cell"]
+        assert timeline.events[1].kind == "if_up"

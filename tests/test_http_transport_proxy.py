@@ -100,6 +100,164 @@ class TestDownlinkChannel:
             DownlinkChannel(sim, "if1", make_server(), **defaults)
 
 
+class TestTimeoutsAndRetries:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_timeout": 0},
+            {"read_timeout": -1.0},
+            {"max_retries": -1},
+            {"backoff_base": 0},
+            {"backoff_base": 3.0, "backoff_cap": 1.0},
+        ],
+    )
+    def test_invalid_params(self, sim, kwargs):
+        with pytest.raises(ConfigurationError):
+            DownlinkChannel(sim, "if1", make_server(), rate_bps=mbps(1), **kwargs)
+
+    def test_no_timeout_waits_through_outage(self, sim):
+        # Legacy default (read_timeout=None): the outage abandons the
+        # in-flight serialization, bring_up restarts it from scratch.
+        server = make_server(size=100_000)
+        channel = DownlinkChannel(sim, "if1", server, rate_bps=80_000, rtt=0.0)
+        done = []
+        channel.issue(
+            ranged_get("/obj", 0, 9_999), lambda ch, req, resp: done.append(sim.now)
+        )
+        sim.schedule(0.5, channel.bring_down)
+        sim.schedule(1.0, channel.bring_up)
+        sim.run()
+        expected = 1.0 + (10_000 + RESPONSE_OVERHEAD_BYTES) * 8 / 80_000
+        assert done == [pytest.approx(expected)]
+        assert channel.timeouts == 0
+        assert channel.responses_delivered == 1
+
+    def test_timeout_retry_succeeds_after_recovery(self, sim):
+        server = make_server(size=100_000)
+        channel = DownlinkChannel(
+            sim,
+            "if1",
+            server,
+            rate_bps=80_000,
+            rtt=0.0,
+            read_timeout=1.0,
+            max_retries=2,
+            backoff_base=0.1,
+        )
+        done = []
+        channel.bring_down()
+        channel.issue(
+            ranged_get("/obj", 0, 999), lambda ch, req, resp: done.append(sim.now)
+        )
+        sim.schedule(1.55, channel.bring_up)
+        sim.run()
+        # First attempt times out at 1.0 (channel down), the retry is
+        # reissued at 1.1 and serializes once the channel recovers.
+        assert channel.timeouts == 1
+        assert channel.retries == 1
+        assert channel.failed_requests == 0
+        expected = 1.55 + (1_000 + RESPONSE_OVERHEAD_BYTES) * 8 / 80_000
+        assert done == [pytest.approx(expected)]
+        assert channel.has_slot
+
+    def test_retries_exhausted_reports_failure(self, sim):
+        server = make_server(size=100_000)
+        channel = DownlinkChannel(
+            sim,
+            "if1",
+            server,
+            rate_bps=80_000,
+            rtt=0.0,
+            read_timeout=0.5,
+            max_retries=2,
+            backoff_base=0.1,
+        )
+        channel.bring_down()  # never recovers
+        done, failures = [], []
+        channel.on_failure(lambda ch, req: failures.append((sim.now, req)))
+        request = ranged_get("/obj", 0, 999)
+        channel.issue(request, lambda ch, req, resp: done.append(resp))
+        sim.run()
+        assert done == []
+        assert channel.timeouts == 3  # the initial attempt + 2 retries
+        assert channel.retries == 2
+        assert channel.failed_requests == 1
+        assert len(failures) == 1
+        assert failures[0][1] is request
+        # Deadlines: 0.5; retry at 0.6 -> 1.1; retry at 1.3 -> 1.8.
+        assert failures[0][0] == pytest.approx(1.8)
+        assert channel.has_slot
+
+    def test_deadline_aborts_slow_serialization(self, sim):
+        # 10 160 B at 80 kb/s needs 1.016 s, past the 0.5 s deadline:
+        # the transfer is abandoned mid-flight.
+        server = make_server(size=100_000)
+        channel = DownlinkChannel(
+            sim,
+            "if1",
+            server,
+            rate_bps=80_000,
+            rtt=0.0,
+            read_timeout=0.5,
+            max_retries=0,
+        )
+        done = []
+        channel.issue(ranged_get("/obj", 0, 9_999), lambda *a: done.append(sim.now))
+        sim.run()
+        assert done == []
+        assert channel.timeouts == 1
+        assert channel.failed_requests == 1
+        assert channel.outstanding == 0
+
+    def test_backoff_is_capped(self, sim):
+        server = make_server(size=100_000)
+        channel = DownlinkChannel(
+            sim,
+            "if1",
+            server,
+            rate_bps=80_000,
+            rtt=0.0,
+            read_timeout=0.5,
+            max_retries=4,
+            backoff_base=0.4,
+            backoff_cap=1.0,
+        )
+        channel.bring_down()
+        failures = []
+        channel.on_failure(lambda ch, req: failures.append(sim.now))
+        channel.issue(ranged_get("/obj", 0, 999), lambda *a: None)
+        sim.run()
+        # Backoffs 0.4, 0.8 then capped at 1.0, 1.0:
+        # deadlines 0.5 | 0.9->1.4 | 2.2->2.7 | 3.7->4.2 | 5.2->5.7.
+        assert channel.retries == 4
+        assert failures == [pytest.approx(5.7)]
+
+    def test_timeout_of_queued_transfer_spares_the_head(self, sim):
+        server = make_server(size=1_000_000)
+        channel = DownlinkChannel(
+            sim,
+            "if1",
+            server,
+            rate_bps=80_000,
+            rtt=0.0,
+            read_timeout=2.0,
+            max_retries=0,
+        )
+        done = []
+        for start, end in ((0, 14_999), (15_000, 24_999)):
+            channel.issue(
+                ranged_get("/obj", start, end),
+                lambda ch, req, resp: done.append(len(resp.body)),
+            )
+        sim.run()
+        # The head serializes for 1.516 s and lands inside its deadline;
+        # the queued transfer starts at 1.516 s, needs another 1.016 s,
+        # and its own deadline fires at 2.0 s without disturbing the head.
+        assert channel.timeouts == 1
+        assert channel.failed_requests == 1
+        assert done == [15_000]
+
+
 class TestProxy:
     def _proxy(self, sim, server, rates=(mbps(8), mbps(4)), chunk=16 * 1024):
         proxy = SchedulingHttpProxy(

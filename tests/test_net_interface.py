@@ -140,3 +140,122 @@ class TestUpDown:
         sim.run()
         kinds = [r.kind for r in trace]
         assert kinds == ["tx_start", "tx_done"]
+
+
+class TestStateListeners:
+    def test_listeners_fire_on_transitions(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([]))
+        seen = []
+        interface.on_state_change(lambda i, up: seen.append((sim.now, up)))
+        interface.bring_down()
+        interface.bring_up()
+        assert seen == [(0.0, False), (0.0, True)]
+
+    def test_transitions_are_idempotent(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([]))
+        seen = []
+        interface.on_state_change(lambda i, up: seen.append(up))
+        interface.bring_down()
+        interface.bring_down()  # no duplicate notification
+        interface.bring_up()
+        interface.bring_up()
+        assert seen == [False, True]
+        assert interface.down_count == 1
+
+    def test_down_time_accumulates(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([]))
+        sim.schedule(1.0, interface.bring_down)
+        sim.schedule(3.0, interface.bring_up)
+        sim.schedule(5.0, interface.bring_down)
+        sim.schedule(6.0, interface.bring_up)
+        sim.run(until=10.0)
+        assert interface.down_time == pytest.approx(3.0)
+        assert interface.down_count == 2
+
+
+class TestUpDownRobustness:
+    def test_in_flight_completion_fires_while_down(self, sim):
+        interface = Interface(sim, "if1", 12_000)  # 1 s per 1500 B
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        done = []
+        interface.on_sent(lambda i, p: done.append((sim.now, interface.up)))
+        interface.kick()
+        sim.schedule(0.5, interface.bring_down)
+        sim.run(until=5.0)
+        # The in-flight packet completed (and its listener fired) while
+        # the interface was already down; no new packet was pulled.
+        assert done == [(pytest.approx(1.0), False)]
+        assert interface.packets_sent == 1
+
+    def test_no_new_pull_until_bring_up(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        done = []
+        interface.on_sent(lambda i, p: done.append(sim.now))
+        interface.kick()
+        sim.schedule(0.5, interface.bring_down)
+        sim.schedule(4.0, interface.bring_up)
+        sim.run()
+        assert done == pytest.approx([1.0, 5.0])
+
+    def test_set_rate_while_down_is_deferred(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))
+        done = []
+        interface.on_sent(lambda i, p: done.append(sim.now))
+        interface.bring_down()
+        interface.set_rate(24_000)  # legal while down, recorded now
+        assert interface.rate_bps == 24_000
+        sim.schedule(2.0, interface.bring_up)
+        sim.run()
+        assert done == pytest.approx([2.5])  # 1500 B at the new 24 kb/s
+
+    def test_capacity_step_lands_mid_outage(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))
+        interface.apply_capacity_schedule([CapacityStep(1.0, 24_000)])
+        done = []
+        interface.on_sent(lambda i, p: done.append(sim.now))
+        sim.schedule(0.5, interface.bring_down)
+        sim.schedule(2.0, interface.bring_up)
+        sim.run()
+        assert done == pytest.approx([2.5])
+
+
+class TestEgressFilters:
+    def test_consuming_filter_skips_sent_listeners(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt(), pkt()]))
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        interface.add_egress_filter(lambda i, p: False)
+        interface.kick()
+        sim.run()
+        assert delivered == []
+        assert interface.packets_sent == 2  # transmitted...
+        assert interface.packets_consumed == 2  # ...but never delivered
+
+    def test_filters_run_in_order_and_short_circuit(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))
+        calls = []
+        interface.add_egress_filter(lambda i, p: calls.append("first") or False)
+        interface.add_egress_filter(lambda i, p: calls.append("second") or True)
+        interface.kick()
+        sim.run()
+        assert calls == ["first"]  # the second filter never saw the packet
+
+    def test_passing_filters_deliver(self, sim):
+        interface = Interface(sim, "if1", 12_000)
+        interface.attach_source(supply_n([pkt()]))
+        delivered = []
+        interface.on_sent(lambda i, p: delivered.append(p))
+        interface.add_egress_filter(lambda i, p: True)
+        interface.add_egress_filter(lambda i, p: True)
+        interface.kick()
+        sim.run()
+        assert len(delivered) == 1
+        assert interface.packets_consumed == 0

@@ -92,6 +92,63 @@ class TestDropTail:
             FlowQueue("f", max_bytes=0)
 
 
+class TestDropHead:
+    def test_evicts_oldest_to_fit_arrival(self):
+        queue = FlowQueue("f", max_bytes=250, policy="drop-head")
+        first, second, third = pkt(100), pkt(100), pkt(100)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.enqueue(third)  # evicts `first`
+        assert list(queue) == [second, third]
+        assert queue.dropped_packets == 1
+        assert queue.dropped_bytes == 100
+        assert queue.backlog_bytes == 200
+
+    def test_evicts_several_for_a_large_arrival(self):
+        queue = FlowQueue("f", max_bytes=300, policy="drop-head")
+        for _ in range(3):
+            queue.enqueue(pkt(100))
+        big = pkt(250)
+        assert queue.enqueue(big)
+        assert list(queue) == [big]
+        assert queue.dropped_packets == 3
+        assert queue.backlog_bytes == 250
+
+    def test_oversized_arrival_still_rejected(self):
+        # No amount of evicting makes room for a packet bigger than the
+        # queue itself; the existing backlog is untouched.
+        queue = FlowQueue("f", max_bytes=200, policy="drop-head")
+        kept = pkt(150)
+        queue.enqueue(kept)
+        assert not queue.enqueue(pkt(300))
+        assert list(queue) == [kept]
+        assert queue.dropped_packets == 1  # the arrival itself
+        assert queue.backlog_bytes == 150
+
+    def test_drop_callback_sees_evictions(self):
+        dropped = []
+        queue = FlowQueue(
+            "f", max_bytes=200, on_drop=dropped.append, policy="drop-head"
+        )
+        first = pkt(150)
+        queue.enqueue(first)
+        queue.enqueue(pkt(150))
+        assert dropped == [first]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowQueue("f", policy="random-early")
+
+    def test_set_drop_listener_replaces(self):
+        first_log, second_log = [], []
+        queue = FlowQueue("f", max_bytes=100, on_drop=first_log.append)
+        queue.set_drop_listener(second_log.append)
+        queue.enqueue(pkt(100))
+        queue.enqueue(pkt(100))  # drop-tail rejection
+        assert first_log == []
+        assert len(second_log) == 1
+
+
 class TestValidation:
     def test_wrong_flow_rejected(self):
         queue = FlowQueue("f")

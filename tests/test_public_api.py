@@ -27,6 +27,8 @@ class TestExports:
             "repro.core",
             "repro.bridge",
             "repro.httpproxy",
+            "repro.faults",
+            "repro.health",
             "repro.trace",
             "repro.analysis",
             "repro.experiments",
@@ -44,6 +46,8 @@ class TestExports:
         assert issubclass(repro.SimulationError, repro.ReproError)
         assert issubclass(repro.PreferenceError, repro.ConfigurationError)
         assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.FaultError, repro.ReproError)
+        assert issubclass(repro.WatchdogError, repro.ReproError)
 
 
 class TestDocumentedQuickstart:
