@@ -11,6 +11,7 @@ Usage::
     midrr fct             # E13: completion times under churn
     midrr all             # every figure
     midrr chaos --seed 7 --duration 60        # seeded fault-injection run
+    midrr bench core                          # hot-path baseline -> BENCH_core.json
     midrr run scenario.json --scheduler wfq   # replay a stored scenario
     midrr solve --interface if1=3e6 --interface if2=10e6 \\
                 --flow a:1:if1 --flow b:2:if1,if2 --flow c:1:if2
@@ -29,6 +30,14 @@ from .core.scenario import Scenario
 from .errors import ReproError
 from .experiments import fct, fig1, fig6, fig7, fig9, fig10, inbound_ideal
 from .faults.chaos import run_chaos
+from .perf import (
+    DEFAULT_FLOW_COUNTS,
+    DEFAULT_INTERFACE_COUNTS,
+    DEFAULT_TARGET_PACKETS,
+    render_bench_table,
+    run_core_bench,
+    write_bench_document,
+)
 from .schedulers.midrr import MiDrrScheduler
 from .schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
 from .fairness.waterfill import weighted_maxmin
@@ -291,6 +300,34 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(2)
 
 
+def _parse_counts(text: str, option: str) -> List[int]:
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"{option} needs comma-separated integers, got {text!r}")
+    if not counts or any(count <= 0 for count in counts):
+        raise SystemExit(f"{option} needs positive integers, got {text!r}")
+    return counts
+
+
+def cmd_bench_core(args: argparse.Namespace) -> None:
+    """Run the seeded hot-path macro-benchmark and write BENCH_core.json.
+
+    The workload (event/packet/decision counts) is deterministic per
+    seed; only wall-clock rates vary between machines.
+    """
+    document = run_core_bench(
+        flow_counts=_parse_counts(args.flows, "--flows"),
+        interface_counts=_parse_counts(args.interfaces, "--interfaces"),
+        seed=args.seed,
+        target_packets=args.target_packets,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    _print(render_bench_table(document))
+    write_bench_document(document, args.out)
+    print(f"wrote {args.out}")
+
+
 SCHEDULER_CHOICES = {
     "midrr": MiDrrScheduler,
     "midrr-counter": lambda: MiDrrScheduler(exclusion="counter"),
@@ -404,6 +441,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-churn", action="store_true", help="disable weight churn"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("bench", help="reproducible performance baselines")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    core = bench_sub.add_parser(
+        "core", help="hot-path macro-benchmark (writes BENCH_core.json)"
+    )
+    core.add_argument("--seed", type=int, default=0)
+    core.add_argument("--out", default="BENCH_core.json")
+    core.add_argument(
+        "--flows",
+        default=",".join(str(count) for count in DEFAULT_FLOW_COUNTS),
+        metavar="F1,F2,...",
+    )
+    core.add_argument(
+        "--interfaces",
+        default=",".join(str(count) for count in DEFAULT_INTERFACE_COUNTS),
+        metavar="I1,I2,...",
+    )
+    core.add_argument(
+        "--target-packets", type=int, default=DEFAULT_TARGET_PACKETS
+    )
+    core.set_defaults(func=cmd_bench_core)
 
     p = sub.add_parser("run", help="run a scenario JSON file")
     p.add_argument("scenario", help="path to a Scenario.to_dict() JSON document")

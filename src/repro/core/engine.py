@@ -23,7 +23,7 @@ starts immediately.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..errors import ConfigurationError
 from ..net.flow import Flow
@@ -57,6 +57,16 @@ class SchedulingEngine:
         self._flows: Dict[str, Flow] = {}
         self._sources: Dict[str, ExhaustibleSource] = {}
         self._quarantined: Dict[str, Flow] = {}
+        # Willing-interface index: flow_id -> ((prefs_version,
+        # topology_version), willing Interface objects in registration
+        # order). Mirrors the scheduler-side index so every hot kick /
+        # quarantine check walks |Π_i| interfaces instead of all of
+        # them; revalidated lazily so direct Flow.restrict_to() calls
+        # cannot leave it stale.
+        self._topology_version = 0
+        self._willing_cache: Dict[
+            str, Tuple[Tuple[int, int], Tuple[Interface, ...]]
+        ] = {}
         self._completion_listeners: List[Callable[[Flow], None]] = []
         self._quarantine_listeners: List[Callable[[Flow, bool], None]] = []
         self.stats = stats if stats is not None else StatsCollector(sim)
@@ -91,6 +101,7 @@ class SchedulingEngine:
                 f"interface {interface.interface_id!r} already registered"
             )
         self._interfaces[interface.interface_id] = interface
+        self._topology_version += 1
         self._scheduler.register_interface(interface.interface_id)
         interface.attach_source(self._supply_packet)
         interface.on_sent(self._packet_sent)
@@ -115,11 +126,7 @@ class SchedulingEngine:
             self._sources[flow.flow_id] = source
         flow.on_arrival(self._packet_arrived)
         flow.on_drop(self._packet_dropped)
-        willing = [
-            interface
-            for interface in self._interfaces.values()
-            if flow.willing_to_use(interface.interface_id)
-        ]
+        willing = self._willing_interfaces(flow)
         if willing and not any(interface.up for interface in willing):
             # The whole Π-set is dark right now: park the flow instead
             # of handing the scheduler a flow it can never serve.
@@ -135,6 +142,7 @@ class SchedulingEngine:
         flow = self._flows.pop(flow_id, None)
         self._sources.pop(flow_id, None)
         self._quarantined.pop(flow_id, None)
+        self._willing_cache.pop(flow_id, None)
         if flow is not None:
             self._scheduler.remove_flow(flow_id)
 
@@ -153,12 +161,22 @@ class SchedulingEngine:
     # ------------------------------------------------------------------
     # Graceful degradation under interface churn
     # ------------------------------------------------------------------
-    def _any_willing_interface_up(self, flow: Flow) -> bool:
-        return any(
-            interface.up
+    def _willing_interfaces(self, flow: Flow) -> Tuple[Interface, ...]:
+        """Cached ``Π_i`` row as Interface objects (registration order)."""
+        version = (flow.prefs_version, self._topology_version)
+        cached = self._willing_cache.get(flow.flow_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        willing = tuple(
+            interface
             for interface in self._interfaces.values()
             if flow.willing_to_use(interface.interface_id)
         )
+        self._willing_cache[flow.flow_id] = (version, willing)
+        return willing
+
+    def _any_willing_interface_up(self, flow: Flow) -> bool:
+        return any(interface.up for interface in self._willing_interfaces(flow))
 
     def _enter_quarantine(self, flow: Flow) -> None:
         if flow.flow_id in self._quarantined:
@@ -241,8 +259,10 @@ class SchedulingEngine:
             self.stats.record_drop(flow.flow_id, packet.size_bytes)
 
     def _kick_willing(self, flow: Flow) -> None:
-        for interface in self._interfaces.values():
-            if flow.willing_to_use(interface.interface_id):
+        # Only up interfaces: kick() no-ops on a down interface anyway,
+        # so filtering here is behaviour-preserving and saves the call.
+        for interface in self._willing_interfaces(flow):
+            if interface.up:
                 interface.kick()
 
     def _packet_sent(self, interface: Interface, packet: Packet) -> None:
@@ -261,15 +281,20 @@ class SchedulingEngine:
 
     def _complete_flow(self, flow: Flow) -> None:
         flow.completed_at = self._sim.now
+        # Resolve the Π-set before remove_flow() drops the cache entry.
+        willing = self._willing_interfaces(flow)
         self.remove_flow(flow.flow_id)
         for listener in self._completion_listeners:
             listener(flow)
         # Freed capacity should be taken up immediately (paper property
         # 4, "use new capacity"); interfaces that were serving this flow
         # will pull new work when their in-flight packet completes, but
-        # idle ones must be kicked now.
-        for interface in self._interfaces.values():
-            interface.kick()
+        # idle ones must be kicked now. Only the flow's own up
+        # interfaces can have freed capacity — a down or unwilling
+        # interface gains nothing from this completion.
+        for interface in willing:
+            if interface.up:
+                interface.kick()
 
     # ------------------------------------------------------------------
     # Convenience

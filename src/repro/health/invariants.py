@@ -14,6 +14,11 @@ arbitrary interface churn:
   (Algorithm 3.1 resets ``DC_i`` when the backlog empties);
 * turn bookkeeping is consistent — an open turn names a registered
   flow;
+* no stale state keys: every deficit counter and service flag belongs
+  to a currently-registered flow and interface. Drained flows are
+  popped by the scheduler's deactivation path and removed flows by its
+  removal hook, so surviving keys for departed flows would be a state
+  leak (dicts growing with every flow ever served);
 * quarantined flows are absent from the scheduler (no deficit accrual
   while parked — the graceful-degradation contract).
 """
@@ -49,6 +54,7 @@ class MiDrrInvariantChecker:
         found.extend(self._check_deficits())
         found.extend(self._check_flags())
         found.extend(self._check_turns())
+        found.extend(self._check_no_stale_keys())
         if self._engine is not None:
             for flow_id in self._engine.quarantined_flows:
                 if scheduler.has_flow(flow_id):
@@ -87,6 +93,24 @@ class MiDrrInvariantChecker:
                 found.append(
                     f"service flag {value!r} for {key!r} outside [0, {cap}]"
                 )
+        return found
+
+    def _check_no_stale_keys(self) -> List[str]:
+        found: List[str] = []
+        scheduler = self._scheduler
+        flow_ids = {flow.flow_id for flow in scheduler.flows()}
+        interface_ids = set(scheduler.interface_ids())
+        for key in scheduler._service_flags:
+            flow_id, interface_id = key
+            if flow_id not in flow_ids or interface_id not in interface_ids:
+                found.append(f"stale service-flag key {key!r} (flow departed)")
+        for key in scheduler._deficit:
+            if isinstance(key, tuple):
+                flow_id, interface_id = key
+                if flow_id not in flow_ids or interface_id not in interface_ids:
+                    found.append(f"stale deficit key {key!r} (flow departed)")
+            elif key not in flow_ids:
+                found.append(f"stale deficit key {key!r} (flow departed)")
         return found
 
     def _check_turns(self) -> List[str]:

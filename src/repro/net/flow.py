@@ -21,6 +21,20 @@ from .queueing import FlowQueue
 class Flow:
     """One application flow with user preferences and a backlog."""
 
+    __slots__ = (
+        "flow_id",
+        "weight",
+        "_allowed",
+        "prefs_version",
+        "queue",
+        "bytes_sent",
+        "packets_sent",
+        "completed_at",
+        "_arrival_listeners",
+        "_dequeue_listeners",
+        "_drop_listeners",
+    )
+
     def __init__(
         self,
         flow_id: str,
@@ -45,6 +59,10 @@ class Flow:
                 f"flow {flow_id!r}: empty interface preference set — the flow "
                 "could never be served"
             )
+        # Bumped on every preference change so schedulers/engines can
+        # cache derived willing-interface lists and invalidate lazily
+        # instead of re-testing willing_to_use() per decision.
+        self.prefs_version = 0
         self.queue = FlowQueue(flow_id, max_bytes=max_queue_bytes, policy=queue_policy)
         self.bytes_sent = 0
         self.packets_sent = 0
@@ -73,6 +91,7 @@ class Flow:
                 f"flow {self.flow_id!r}: cannot restrict to an empty set"
             )
         self._allowed = frozenset(interfaces)
+        self.prefs_version += 1
 
     # ------------------------------------------------------------------
     # Backlog

@@ -39,6 +39,18 @@ class FlowQueue:
         packets from the head until the arrival fits.
     """
 
+    __slots__ = (
+        "flow_id",
+        "max_bytes",
+        "policy",
+        "_on_drop",
+        "_packets",
+        "_backlog_bytes",
+        "_dropped_packets",
+        "_dropped_bytes",
+        "_enqueued_packets",
+    )
+
     def __init__(
         self,
         flow_id: str,

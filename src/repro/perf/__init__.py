@@ -1,0 +1,34 @@
+"""Reproducible performance baselines for the hot path.
+
+The ROADMAP's north star is a system that runs "as fast as the hardware
+allows"; this package is how that claim is *measured* rather than
+asserted. :mod:`repro.perf.core_bench` drives the full stack (sources →
+engine → miDRR → interfaces) over a seeded grid of flow × interface
+counts and reports events/sec, packets/sec and decisions/sec. The CLI
+(``midrr bench core``) writes the results to ``BENCH_core.json`` so
+every PR can compare against the previous baseline.
+"""
+
+from .core_bench import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_FLOW_COUNTS,
+    DEFAULT_INTERFACE_COUNTS,
+    DEFAULT_TARGET_PACKETS,
+    build_core_scenario,
+    render_bench_table,
+    run_core_bench,
+    validate_bench_document,
+    write_bench_document,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_FLOW_COUNTS",
+    "DEFAULT_INTERFACE_COUNTS",
+    "DEFAULT_TARGET_PACKETS",
+    "build_core_scenario",
+    "render_bench_table",
+    "run_core_bench",
+    "validate_bench_document",
+    "write_bench_document",
+]

@@ -1,0 +1,292 @@
+"""The ``bench core`` macro-benchmark: hot-path throughput baselines.
+
+Each cell of the grid builds a seeded scenario with *F* continuously
+backlogged flows spread over *I* interfaces (random-but-reproducible Π
+and φ), sizes the virtual duration so roughly ``target_packets``
+packets are transmitted, runs it end to end through the real engine,
+and reports three throughput numbers:
+
+* **events/sec** — heap events dispatched per wall second; the
+  event-loop cost (``sim/events.py`` + ``sim/simulator.py``).
+* **packets/sec** — packets transmitted per wall second; the end-to-end
+  hot-path cost (arrival → activation → select → transmit → refill).
+* **decisions/sec** — ``select()`` calls per wall second; the scheduler
+  decision cost the paper's Figure 9 profiles.
+
+The *workload* is deterministic per seed: for a given (seed, F, I,
+target_packets) the event, packet and decision **counts** are exact
+invariants across runs and machines — only the wall-clock times vary.
+``validate_bench_document`` checks that shape, and the tier-1 smoke
+test runs a miniature grid through it on every CI run.
+
+``BENCH_core.json`` at the repo root is the committed trajectory: each
+performance PR re-runs ``midrr bench core`` and reports the delta.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.runner import run_scenario
+from ..core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+from ..errors import ConfigurationError
+from ..schedulers.midrr import MiDrrScheduler
+from ..sim.randomness import RandomStreams
+from ..units import mbps
+
+#: Version stamp for the BENCH_core.json schema.
+BENCH_SCHEMA_VERSION = 1
+
+#: The default grid: flow counts × interface counts.
+DEFAULT_FLOW_COUNTS = (10, 100, 1000)
+DEFAULT_INTERFACE_COUNTS = (2, 4, 8)
+
+#: Packets transmitted per cell (sets the virtual duration).
+DEFAULT_TARGET_PACKETS = 6000
+
+#: Interface capacities cycle through these (Mb/s).
+_CAPACITY_CYCLE = (5, 10, 20, 40)
+
+#: Keys every grid cell must carry (validated by the CI smoke test).
+CELL_KEYS = frozenset(
+    {
+        "flows",
+        "interfaces",
+        "virtual_seconds",
+        "events",
+        "packets",
+        "decisions",
+        "wall_seconds",
+        "events_per_sec",
+        "packets_per_sec",
+        "decisions_per_sec",
+    }
+)
+
+#: Top-level keys of a bench document.
+DOCUMENT_KEYS = frozenset(
+    {
+        "name",
+        "schema_version",
+        "seed",
+        "quantum_base",
+        "packet_size",
+        "target_packets",
+        "platform",
+        "grid",
+    }
+)
+
+
+def build_core_scenario(
+    num_flows: int,
+    num_interfaces: int,
+    seed: int = 0,
+    target_packets: int = DEFAULT_TARGET_PACKETS,
+    packet_size: int = 1500,
+) -> Scenario:
+    """A seeded always-backlogged scenario for one grid cell.
+
+    Interface capacities cycle through :data:`_CAPACITY_CYCLE`; each
+    flow draws a random willing subset of the interfaces and a random
+    weight from a named RNG stream, so the workload is reproducible and
+    independent of any other seeded component.
+    """
+    if num_flows <= 0 or num_interfaces <= 0:
+        raise ConfigurationError("flow and interface counts must be positive")
+    if target_packets <= 0:
+        raise ConfigurationError(
+            f"target_packets must be positive, got {target_packets}"
+        )
+    rng = RandomStreams(seed).stream(
+        f"bench-core:{num_flows}x{num_interfaces}"
+    )
+    interface_ids = [f"if{j}" for j in range(num_interfaces)]
+    interfaces = tuple(
+        InterfaceSpec(
+            interface_id,
+            mbps(_CAPACITY_CYCLE[j % len(_CAPACITY_CYCLE)]),
+        )
+        for j, interface_id in enumerate(interface_ids)
+    )
+    flows = []
+    for i in range(num_flows):
+        count = rng.randint(1, num_interfaces)
+        willing = tuple(sorted(rng.sample(interface_ids, count)))
+        flows.append(
+            FlowSpec(
+                f"flow{i:04d}",
+                weight=rng.choice([0.5, 1.0, 2.0, 4.0]),
+                interfaces=willing,
+                traffic=TrafficSpec("bulk", packet_size=packet_size),
+            )
+        )
+    total_capacity = sum(spec.rate_bps for spec in interfaces)
+    packets_per_virtual_second = total_capacity / (packet_size * 8)
+    duration = target_packets / packets_per_virtual_second
+    return Scenario(
+        name=f"bench-core-{num_flows}x{num_interfaces}",
+        interfaces=interfaces,
+        flows=tuple(flows),
+        duration=duration,
+        seed=seed,
+    )
+
+
+def run_cell(
+    num_flows: int,
+    num_interfaces: int,
+    seed: int = 0,
+    target_packets: int = DEFAULT_TARGET_PACKETS,
+    packet_size: int = 1500,
+    quantum_base: int = 1500,
+) -> Dict[str, object]:
+    """Run one grid cell and return its measurement row."""
+    scenario = build_core_scenario(
+        num_flows,
+        num_interfaces,
+        seed=seed,
+        target_packets=target_packets,
+        packet_size=packet_size,
+    )
+    started = time.perf_counter()
+    result = run_scenario(
+        scenario, lambda: MiDrrScheduler(quantum_base=quantum_base)
+    )
+    wall = time.perf_counter() - started
+    packets = sum(
+        interface.packets_sent
+        for interface in result.engine.interfaces.values()
+    )
+    decisions = len(result.engine.scheduler.decision_flows_examined)
+    events = result.sim.events_processed
+    wall = max(wall, 1e-9)
+    return {
+        "flows": num_flows,
+        "interfaces": num_interfaces,
+        "virtual_seconds": round(scenario.duration, 6),
+        "events": events,
+        "packets": packets,
+        "decisions": decisions,
+        "wall_seconds": round(wall, 6),
+        "events_per_sec": round(events / wall, 1),
+        "packets_per_sec": round(packets / wall, 1),
+        "decisions_per_sec": round(decisions / wall, 1),
+    }
+
+
+def run_core_bench(
+    flow_counts: Sequence[int] = DEFAULT_FLOW_COUNTS,
+    interface_counts: Sequence[int] = DEFAULT_INTERFACE_COUNTS,
+    seed: int = 0,
+    target_packets: int = DEFAULT_TARGET_PACKETS,
+    packet_size: int = 1500,
+    quantum_base: int = 1500,
+    progress: Optional[callable] = None,
+) -> Dict[str, object]:
+    """Run the full grid and return the BENCH_core document."""
+    grid: List[Dict[str, object]] = []
+    for num_flows in flow_counts:
+        for num_interfaces in interface_counts:
+            if progress is not None:
+                progress(f"bench core: F={num_flows} I={num_interfaces} ...")
+            grid.append(
+                run_cell(
+                    num_flows,
+                    num_interfaces,
+                    seed=seed,
+                    target_packets=target_packets,
+                    packet_size=packet_size,
+                    quantum_base=quantum_base,
+                )
+            )
+    return {
+        "name": "core",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "seed": seed,
+        "quantum_base": quantum_base,
+        "packet_size": packet_size,
+        "target_packets": target_packets,
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "grid": grid,
+    }
+
+
+def validate_bench_document(document: Dict[str, object]) -> List[str]:
+    """Schema-check a bench document; returns a list of problems.
+
+    An empty list means the document is valid: all keys present, the
+    seed recorded, and every cell transmitted packets at a non-zero
+    wall-clock rate.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    missing = DOCUMENT_KEYS - set(document)
+    if missing:
+        problems.append(f"missing top-level keys: {sorted(missing)}")
+    if not isinstance(document.get("seed"), int):
+        problems.append("seed must be an integer")
+    if document.get("name") != "core":
+        problems.append(f"name must be 'core', got {document.get('name')!r}")
+    grid = document.get("grid")
+    if not isinstance(grid, list) or not grid:
+        problems.append("grid must be a non-empty list")
+        return problems
+    for index, cell in enumerate(grid):
+        if not isinstance(cell, dict):
+            problems.append(f"grid[{index}] is not an object")
+            continue
+        missing = CELL_KEYS - set(cell)
+        if missing:
+            problems.append(f"grid[{index}] missing keys: {sorted(missing)}")
+            continue
+        if cell["packets"] <= 0:
+            problems.append(f"grid[{index}] transmitted no packets")
+        if cell["packets_per_sec"] <= 0 or cell["events_per_sec"] <= 0:
+            problems.append(f"grid[{index}] has zero throughput")
+        if cell["decisions"] <= 0:
+            problems.append(f"grid[{index}] made no scheduling decisions")
+    return problems
+
+
+def write_bench_document(document: Dict[str, object], path: str) -> None:
+    """Write the document as stable, diff-friendly JSON."""
+    problems = validate_bench_document(document)
+    if problems:
+        raise ConfigurationError(
+            "refusing to write invalid bench document: " + "; ".join(problems)
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def render_bench_table(document: Dict[str, object]) -> str:
+    """An ASCII summary of a bench document (CLI output)."""
+    from ..analysis.report import render_table
+
+    rows = [
+        [
+            cell["flows"],
+            cell["interfaces"],
+            cell["packets"],
+            f"{cell['wall_seconds']:.3f}",
+            f"{cell['events_per_sec']:,.0f}",
+            f"{cell['packets_per_sec']:,.0f}",
+            f"{cell['decisions_per_sec']:,.0f}",
+        ]
+        for cell in document["grid"]
+    ]
+    return render_table(
+        ["flows", "ifaces", "packets", "wall s", "events/s", "packets/s", "decisions/s"],
+        rows,
+        title=f"== bench core (seed {document['seed']}) ==",
+    )

@@ -18,7 +18,7 @@ traffic sources can refill backlogs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from ..net.flow import Flow
@@ -93,6 +93,12 @@ class MultiInterfaceScheduler(ABC):
     def __init__(self) -> None:
         self._flows: Dict[str, Flow] = {}
         self._interface_ids: List[str] = []
+        # Willing-interface index: flow_id -> ((prefs_version,
+        # topology_version), willing tuple in registration order).
+        # Validated lazily so a direct Flow.restrict_to() — with no
+        # notification — can never serve a stale set.
+        self._topology_version = 0
+        self._willing_cache: Dict[str, Tuple[Tuple[int, int], Tuple[str, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -102,11 +108,34 @@ class MultiInterfaceScheduler(ABC):
         if interface_id in self._interface_ids:
             raise SchedulingError(f"interface {interface_id!r} already registered")
         self._interface_ids.append(interface_id)
+        self._topology_version += 1
         self._on_interface_added(interface_id)
 
     def interface_ids(self) -> List[str]:
         """Registered interfaces, in registration order."""
         return list(self._interface_ids)
+
+    def willing_interfaces(self, flow: Flow) -> Tuple[str, ...]:
+        """The interfaces *flow* is willing to use, in registration order.
+
+        This is the precomputed ``Π_i`` row every hot-path loop iterates
+        instead of testing ``willing_to_use`` against each registered
+        interface. The tuple is cached per flow and revalidated against
+        ``Flow.prefs_version`` and the scheduler's topology version, so
+        preference edits and late interface registration invalidate it
+        without any explicit notification.
+        """
+        version = (flow.prefs_version, self._topology_version)
+        cached = self._willing_cache.get(flow.flow_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        willing = tuple(
+            interface_id
+            for interface_id in self._interface_ids
+            if flow.willing_to_use(interface_id)
+        )
+        self._willing_cache[flow.flow_id] = (version, willing)
+        return willing
 
     # ------------------------------------------------------------------
     # Flow management
@@ -120,8 +149,8 @@ class MultiInterfaceScheduler(ABC):
             raise SchedulingError(
                 f"a different Flow object with id {flow.flow_id!r} is registered"
             )
-        willing = [j for j in self._interface_ids if flow.willing_to_use(j)]
-        if not willing:
+        if not self.willing_interfaces(flow):
+            del self._willing_cache[flow.flow_id]
             raise SchedulingError(
                 f"flow {flow.flow_id!r} is unwilling to use every registered "
                 "interface; it could never be served"
@@ -133,6 +162,7 @@ class MultiInterfaceScheduler(ABC):
         """Stop scheduling *flow_id*."""
         flow = self._flows.pop(flow_id, None)
         if flow is not None:
+            self._willing_cache.pop(flow_id, None)
             self._on_flow_removed(flow)
 
     def flows(self) -> List[Flow]:
@@ -151,7 +181,16 @@ class MultiInterfaceScheduler(ABC):
         return flow
 
     def notify_backlogged(self, flow: Flow) -> None:
-        """Tell the scheduler *flow* just went from empty to backlogged."""
+        """Tell the scheduler *flow* just went from empty to backlogged.
+
+        This call is the activation contract, not a hint: schedulers
+        keep event-driven active sets and do **not** rescan the flow
+        table per decision, so a registered flow that re-backlogs
+        without this notification stays invisible to ``select`` until
+        the next add/notify touches it. The engine emits it on every
+        empty→backlogged arrival; direct users (benchmarks, tests) must
+        do the same after offering packets to a drained flow.
+        """
         if flow.flow_id in self._flows:
             self._on_backlogged(flow)
 

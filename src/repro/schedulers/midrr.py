@@ -36,6 +36,14 @@ Implementation notes
 * Work conservation: the skip loop clears flags as it passes, so within
   one decision a second visit to the same flow finds the flag clear —
   an interface never idles while any willing flow is backlogged.
+* Activation is **event-driven**: the per-interface active lists are
+  maintained exclusively by ``notify_backlogged`` / ``add_flow`` /
+  drain bookkeeping, and ``select`` never rescans the flow table. A
+  decision therefore costs O(flows actually considered), independent
+  of the total flow count; activating a flow costs O(|Π_i|) via the
+  base class's cached :meth:`~MultiInterfaceScheduler.willing_interfaces`
+  index. Callers that bypass the engine must honour the
+  ``notify_backlogged`` contract (see its docstring).
 * ``decision_flows_examined`` records, per decision, how many flows the
   interface had to consider before finding one to serve. Figure 9's
   "extra search time" is exactly this quantity.
@@ -136,9 +144,18 @@ class MiDrrScheduler(MultiInterfaceScheduler):
         # "counter" they saturate at COUNTER_CAP.
         self._service_flags: Dict[Tuple[str, str], int] = {}
         # Deficit counters; key is flow_id ("flow" scope) or
-        # (flow_id, interface_id) ("flow_interface" scope).
+        # (flow_id, interface_id) ("flow_interface" scope). Both this
+        # dict and _service_flags hold entries only for live keys:
+        # drained flows are popped by _deactivate, removed flows by
+        # _on_flow_removed (the health layer asserts this).
         self._deficit: Dict[object, float] = {}
         # Telemetry: per-decision flow-consideration counts (Figure 9).
+        # Each select() appends exactly one entry: the number of flow
+        # considerations the decision performed — every cursor advance
+        # in MIDRR-CHECK-NEXT plus, when the decision resumes a service
+        # turn carried over from the previous decision, one for the
+        # resumed flow. A decision that serves straight from a resumed
+        # turn therefore records 1; an idle interface records 0.
         self.decision_flows_examined: List[int] = []
         # Telemetry: service turns granted per flow (Lemmas 5/6 tests).
         self.turns_taken: Dict[str, int] = {}
@@ -203,7 +220,10 @@ class MiDrrScheduler(MultiInterfaceScheduler):
     def _on_flow_added(self, flow: Flow) -> None:
         self.turns_taken.setdefault(flow.flow_id, 0)
         # "Service flags for new flows are initiated at zero" (Table 1).
-        for interface_id in self.interface_ids():
+        # Only willing interfaces get a key: a flag at an unwilling
+        # interface is never set by rule 1 nor read by rule 2, and the
+        # getters default a missing key to zero.
+        for interface_id in self.willing_interfaces(flow):
             self._service_flags[(flow.flow_id, interface_id)] = 0
         if flow.backlogged:
             self._activate(flow)
@@ -222,22 +242,32 @@ class MiDrrScheduler(MultiInterfaceScheduler):
         self._activate(flow)
 
     def _activate(self, flow: Flow) -> None:
-        for interface_id, state in self._states.items():
-            if flow.willing_to_use(interface_id) and flow.flow_id not in state.active:
-                state.active[flow.flow_id] = None
+        """Join the round at every willing interface — O(|Π_i|)."""
+        flow_id = flow.flow_id
+        states = self._states
+        for interface_id in self.willing_interfaces(flow):
+            active = states[interface_id].active
+            if flow_id not in active:
+                active[flow_id] = None
 
     def _deactivate(self, flow_id: str, interface_id: str) -> None:
         """Flow drained: reset deficits, drop from every active list.
 
         Algorithm 3.1 resets ``DC_i`` when the backlog empties; with
         per-interface counters that means every interface's counter for
-        the flow.
+        the flow. Resetting is implemented by popping the key — a
+        missing counter reads as zero everywhere — so the deficit dict
+        stays sized by the *currently backlogged* flows rather than
+        accumulating a key per flow ever served (state leak).
         """
         if self._deficit_scope == "flow":
-            self._deficit[flow_id] = 0.0
+            self._deficit.pop(flow_id, None)
         else:
-            for other_interface in self.interface_ids():
-                self._deficit[(flow_id, other_interface)] = 0.0
+            # All interfaces, not just currently-willing ones: a
+            # preference narrowing after the quantum was granted must
+            # not strand the counter.
+            for other_interface in self._interface_ids:
+                self._deficit.pop((flow_id, other_interface), None)
         for state in self._states.values():
             state.active.pop(flow_id, None)
             if state.current == flow_id:
@@ -252,19 +282,21 @@ class MiDrrScheduler(MultiInterfaceScheduler):
 
         With ``exclusion="flag"`` this is the paper's boolean set; with
         ``"counter"`` each remote service earns one future skip, up to
-        :data:`COUNTER_CAP`.
+        :data:`COUNTER_CAP`. Runs once per service turn (or per packet
+        with ``flag_on="packet"``), so it iterates the flow's cached
+        willing list — O(|Π_i|) — rather than every interface.
         """
-        for interface_id in self.interface_ids():
-            if interface_id == serving_interface:
-                continue
-            if not flow.willing_to_use(interface_id):
-                continue
-            key = (flow.flow_id, interface_id)
-            if self._exclusion == "flag":
-                self._service_flags[key] = 1
-            else:
-                current = self._service_flags.get(key, 0)
-                self._service_flags[key] = min(COUNTER_CAP, current + 1)
+        flow_id = flow.flow_id
+        flags = self._service_flags
+        if self._exclusion == "flag":
+            for interface_id in self.willing_interfaces(flow):
+                if interface_id != serving_interface:
+                    flags[(flow_id, interface_id)] = 1
+        else:
+            for interface_id in self.willing_interfaces(flow):
+                if interface_id != serving_interface:
+                    key = (flow_id, interface_id)
+                    flags[key] = min(COUNTER_CAP, flags.get(key, 0) + 1)
 
     # ------------------------------------------------------------------
     # Algorithm 3.1 with Algorithm 3.2 spliced in
@@ -274,20 +306,24 @@ class MiDrrScheduler(MultiInterfaceScheduler):
         if state is None:
             raise SchedulingError(f"unknown interface {interface_id!r}")
 
-        self._refresh_active(interface_id, state)
         if not state.active:
             self.decision_flows_examined.append(0)
             return None
 
-        examined = 0
+        # A decision that resumes a service turn carried over from the
+        # previous decision considers that flow first — count it. (The
+        # pre-fix code only credited this consideration when the
+        # resumed flow was served immediately, so a decision that found
+        # it drained and moved on under-counted by one.)
+        examined = 1 if state.turn_open else 0
+        deficits = self._deficit
         # Outer loop: service turns. Each iteration either transmits a
         # packet or closes a turn; deficits grow monotonically across
         # rotations so the loop terminates.
         while True:
             if not state.turn_open:
-                chosen = self._check_next(interface_id, state)
-                examined += chosen[1]
-                flow_id = chosen[0]
+                flow_id, scanned = self._check_next(interface_id, state)
+                examined += scanned
                 if flow_id is None:
                     self.decision_flows_examined.append(examined)
                     return None
@@ -295,7 +331,7 @@ class MiDrrScheduler(MultiInterfaceScheduler):
                 state.turn_open = True
                 flow = self._flows[flow_id]
                 key = self._deficit_key(flow_id, interface_id)
-                self._deficit[key] = self._deficit.get(key, 0.0) + self.quantum(flow)
+                deficits[key] = deficits.get(key, 0.0) + self.quantum(flow)
                 self.turns_taken[flow_id] = self.turns_taken.get(flow_id, 0) + 1
                 if self._flag_on == "turn":
                     self._mark_served(flow, interface_id)
@@ -326,30 +362,19 @@ class MiDrrScheduler(MultiInterfaceScheduler):
             key = self._deficit_key(flow.flow_id, interface_id)
             head_size = flow.queue.head_size()
             assert head_size is not None
-            if head_size <= self._deficit.get(key, 0.0):
-                examined += 1 if examined == 0 else 0
-                self._deficit[key] -= head_size
+            if head_size <= deficits.get(key, 0.0):
+                deficits[key] -= head_size
                 packet = flow.pull()
                 if self._flag_on == "packet":
                     self._mark_served(flow, interface_id)
                 if not flow.backlogged:
                     self._deactivate(flow.flow_id, interface_id)
-                self.decision_flows_examined.append(max(examined, 1))
+                self.decision_flows_examined.append(examined)
                 return packet
 
             # Quantum spent: the turn ends, deficit carries over.
             state.current = None
             state.turn_open = False
-
-    def _refresh_active(self, interface_id: str, state: _InterfaceState) -> None:
-        """Reconcile the active list with current backlogs and Π."""
-        for flow in self._flows.values():
-            if (
-                flow.backlogged
-                and flow.willing_to_use(interface_id)
-                and flow.flow_id not in state.active
-            ):
-                state.active[flow.flow_id] = None
 
     def _check_next(
         self, interface_id: str, state: _InterfaceState

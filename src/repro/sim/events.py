@@ -4,42 +4,91 @@ The queue is a binary heap ordered by ``(time, priority, sequence)``.
 The monotonically increasing sequence number guarantees FIFO order for
 events scheduled at the same instant with the same priority, which makes
 simulations deterministic regardless of heap tie-breaking.
+
+Hot-path notes
+--------------
+This module sits under every simulated packet: one heap push and one
+heap pop per scheduled callback. :class:`Event` is therefore a plain
+``__slots__`` class with a hand-written ``__lt__`` (a ``dataclass``
+with ``order=True`` builds and compares whole tuples on every heap
+sift), and :meth:`EventQueue.pop_ready` fuses the peek/pop pair the
+simulator loop needs into a single scan over cancelled heads.
+
+Cancelled events are *lazily* discarded when they surface at the heap
+head; :meth:`EventQueue.cancel` additionally counts live cancellations
+and compacts the heap in O(n) once more than half of it is dead, so a
+workload that cancels most of what it schedules (e.g. transport
+timeouts that almost never fire) cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
 
 #: Default event priority. Lower numbers fire first at equal timestamps.
 DEFAULT_PRIORITY = 0
 
+#: Compaction threshold: rebuild the heap when it holds more than this
+#: many queue-cancelled events *and* they outnumber the live ones.
+_COMPACTION_MIN = 64
 
-@dataclass(order=True)
+
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so they can live directly
-    in a heap. The callback and its arguments are excluded from
-    comparison.
+    Events compare by ``(time, priority, seq)`` so they can live
+    directly in a heap. The callback and its arguments do not take part
+    in comparison.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.priority == other.priority
+            and self.seq == other.seq
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:g}, prio={self.priority}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped.
 
         Cancellation is O(1); the event stays in the heap until its
-        timestamp is reached and is then discarded.
+        timestamp is reached and is then discarded. Prefer
+        :meth:`EventQueue.cancel` when the owning queue is at hand —
+        it additionally lets the queue compact away dead entries.
         """
         self.cancelled = True
 
@@ -51,9 +100,15 @@ class Event:
 class EventQueue:
     """Deterministic min-heap of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_seq", "_cancelled_count")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[Event] = []
+        self._seq = 0
+        # Cancellations routed through EventQueue.cancel(); direct
+        # Event.cancel() calls are still honoured on pop, they just
+        # don't count toward compaction.
+        self._cancelled_count = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -69,15 +124,38 @@ class EventQueue:
         priority: int = DEFAULT_PRIORITY,
     ) -> Event:
         """Schedule *callback* at absolute *time* and return the event."""
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            args=args,
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args)
         heapq.heappush(self._heap, event)
         return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* and compact the heap when mostly dead.
+
+        Equivalent to ``event.cancel()`` plus bookkeeping: once more
+        than half the heap (and at least :data:`_COMPACTION_MIN`
+        entries) consists of queue-cancelled events, the heap is
+        rebuilt without them in O(n).
+        """
+        if event.cancelled:
+            return
+        event.cancelled = True
+        self._cancelled_count += 1
+        if (
+            self._cancelled_count >= _COMPACTION_MIN
+            and self._cancelled_count * 2 > len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop every cancelled event and re-heapify; returns the count
+        of events removed. Called automatically by :meth:`cancel`."""
+        before = len(self._heap)
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0
+        return before - len(self._heap)
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if empty.
@@ -85,23 +163,46 @@ class EventQueue:
         Skips (and drops) cancelled events at the head of the heap so
         the answer reflects the next event that will actually fire.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0].time
 
     def pop(self) -> Event:
         """Remove and return the next live event.
 
         Raises :class:`SimulationError` when the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if not event.cancelled:
                 return event
         raise SimulationError("pop() from an empty event queue")
 
+    def pop_ready(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the next live event with ``time <= until`` in one scan.
+
+        Returns ``None`` when the queue is empty or the next live event
+        lies beyond *until* (the event is left in place). This is the
+        simulator main-loop primitive: the peek/pop pair as one pass
+        over any cancelled heads.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                pop(heap)
+                continue
+            if until is not None and head.time > until:
+                return None
+            return pop(heap)
+        return None
+
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
+        self._cancelled_count = 0

@@ -21,6 +21,8 @@ class Timer:
     re-arms it (the earlier expiry is cancelled). ``cancel()`` disarms.
     """
 
+    __slots__ = ("_sim", "_callback", "_event")
+
     def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
         self._sim = sim
         self._callback = callback
@@ -39,7 +41,7 @@ class Timer:
     def cancel(self) -> None:
         """Disarm the timer if armed."""
         if self._event is not None:
-            self._event.cancel()
+            self._sim.cancel(self._event)
             self._event = None
 
     def _fire(self) -> None:
@@ -54,6 +56,15 @@ class PeriodicProcess:
     happens at ``start_time + period`` unless ``fire_immediately`` is
     set, in which case it also fires at ``start_time``.
     """
+
+    __slots__ = (
+        "_sim",
+        "_period",
+        "_callback",
+        "_fire_immediately",
+        "_event",
+        "_running",
+    )
 
     def __init__(
         self,
@@ -90,7 +101,7 @@ class PeriodicProcess:
         """Stop ticking. Idempotent."""
         self._running = False
         if self._event is not None:
-            self._event.cancel()
+            self._sim.cancel(self._event)
             self._event = None
 
     def _tick(self) -> None:

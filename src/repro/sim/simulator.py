@@ -27,6 +27,8 @@ from .events import DEFAULT_PRIORITY, Event, EventQueue
 class Simulator:
     """A deterministic single-threaded discrete-event simulator."""
 
+    __slots__ = ("_now", "_queue", "_running", "_stopped", "_events_processed")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue = EventQueue()
@@ -95,15 +97,24 @@ class Simulator:
         """
         return self._queue.push(self._now, callback, args, priority)
 
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event through the queue.
+
+        Prefer this over ``event.cancel()``: the queue counts the
+        cancellation and compacts the heap once dead events dominate,
+        so cancel-heavy workloads (timeouts that rarely fire) keep the
+        heap — and every subsequent push/pop — small.
+        """
+        self._queue.cancel(event)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch a single event. Returns ``False`` if none remain."""
-        next_time = self._queue.peek_time()
-        if next_time is None:
+        event = self._queue.pop_ready()
+        if event is None:
             return False
-        event = self._queue.pop()
         self._now = event.time
         self._events_processed += 1
         event.fire()
@@ -130,14 +141,20 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
+        # The dispatch loop is the hottest code in the repository: one
+        # iteration per simulated event. pop_ready() folds the old
+        # peek/pop pair (each of which re-scanned cancelled heads) into
+        # a single heap access, and the queue/counter lookups are bound
+        # to locals outside the loop.
+        pop_ready = self._queue.pop_ready
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = pop_ready(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                self._now = event.time
+                self._events_processed += 1
+                event.fire()
                 dispatched += 1
                 if max_events is not None and dispatched > max_events:
                     raise SimulationError(

@@ -1,0 +1,135 @@
+"""Tests for the ``repro.perf`` benchmark harness.
+
+The tier-1 smoke test runs a miniature grid end to end and validates
+the BENCH_core.json schema; the full default grid runs only under the
+``bench`` marker (``pytest -m bench``), which the default run
+deselects — benchmarks measure wall-clock and have no place gating CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.perf import (
+    BENCH_SCHEMA_VERSION,
+    build_core_scenario,
+    render_bench_table,
+    run_core_bench,
+    validate_bench_document,
+    write_bench_document,
+)
+
+#: A grid small enough for tier-1 (one cell, a few hundred packets).
+SMOKE_KWARGS = dict(
+    flow_counts=(3,), interface_counts=(2,), target_packets=200
+)
+
+
+class TestScenarioBuilder:
+    def test_deterministic_per_seed(self):
+        first = build_core_scenario(5, 2, seed=42)
+        second = build_core_scenario(5, 2, seed=42)
+        assert [spec.interfaces for spec in first.flows] == [
+            spec.interfaces for spec in second.flows
+        ]
+        assert [spec.weight for spec in first.flows] == [
+            spec.weight for spec in second.flows
+        ]
+
+    def test_seed_changes_workload(self):
+        first = build_core_scenario(20, 4, seed=0)
+        second = build_core_scenario(20, 4, seed=1)
+        assert [spec.interfaces for spec in first.flows] != [
+            spec.interfaces for spec in second.flows
+        ]
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            build_core_scenario(0, 2)
+        with pytest.raises(ConfigurationError):
+            build_core_scenario(5, 2, target_packets=0)
+
+
+class TestSmokeBench:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return run_core_bench(seed=0, **SMOKE_KWARGS)
+
+    def test_document_is_valid(self, document):
+        assert validate_bench_document(document) == []
+        assert document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert document["seed"] == 0
+
+    def test_cell_throughput_nonzero(self, document):
+        (cell,) = document["grid"]
+        assert cell["packets"] > 0
+        assert cell["packets_per_sec"] > 0
+        assert cell["events_per_sec"] > 0
+        assert cell["decisions"] >= cell["packets"]
+
+    def test_counts_are_seed_deterministic(self, document):
+        again = run_core_bench(seed=0, **SMOKE_KWARGS)
+        for key in ("events", "packets", "decisions", "virtual_seconds"):
+            assert again["grid"][0][key] == document["grid"][0][key]
+
+    def test_write_and_render(self, document, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        write_bench_document(document, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_bench_document(loaded) == []
+        table = render_bench_table(loaded)
+        assert "packets/s" in table
+
+    def test_write_refuses_invalid(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_bench_document({"name": "core"}, str(tmp_path / "x.json"))
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_bench_document([]) != []
+
+    def test_reports_missing_keys_and_zero_throughput(self):
+        document = run_core_bench(seed=0, **SMOKE_KWARGS)
+        document["grid"][0]["packets"] = 0
+        del document["seed"]
+        problems = validate_bench_document(document)
+        assert any("seed" in problem for problem in problems)
+        assert any("packets" in problem for problem in problems)
+
+
+class TestCli:
+    def test_bench_core_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "core", "--seed", "3", "--flows", "5", "--interfaces", "2"]
+        )
+        assert callable(args.func)
+        assert args.seed == 3
+
+    def test_bench_core_writes_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        exit_code = main(
+            [
+                "bench",
+                "core",
+                "--flows", "3",
+                "--interfaces", "2",
+                "--target-packets", "200",
+                "--out", str(out),
+            ]
+        )
+        assert exit_code == 0
+        assert validate_bench_document(json.loads(out.read_text())) == []
+        assert "packets/s" in capsys.readouterr().out
+
+
+@pytest.mark.bench
+def test_full_default_grid():
+    """The committed BENCH_core.json workload, end to end (slow)."""
+    document = run_core_bench(seed=0)
+    assert validate_bench_document(document) == []
+    assert len(document["grid"]) == 9

@@ -1,0 +1,319 @@
+"""Regression tests for the event-driven miDRR hot path.
+
+Covers the three bugfixes that rode along with the rescan removal —
+the turn-spanning telemetry miscount, the deficit/flag state leaks,
+and the over-broad completion kicks — plus a hypothesis equivalence
+test showing event-driven activation reproduces the old per-decision
+flow-table rescan decision-for-decision.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import make_flow
+
+from repro.core.engine import SchedulingEngine
+from repro.health.invariants import MiDrrInvariantChecker
+from repro.net.flow import Flow
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+from repro.schedulers.midrr import MiDrrScheduler
+
+
+def flow_keys(mapping, flow_id):
+    """Keys in a scheduler state dict belonging to *flow_id*."""
+    return [
+        key
+        for key in mapping
+        if (key[0] if isinstance(key, tuple) else key) == flow_id
+    ]
+
+
+class TestTelemetrySemantics:
+    """``decision_flows_examined`` counts once per flow considered."""
+
+    def test_serve_from_resumed_turn_records_one(self):
+        scheduler = MiDrrScheduler(quantum_base=4500)
+        scheduler.register_interface("if0")
+        scheduler.add_flow(make_flow("a", backlog_packets=2))
+        assert scheduler.select("if0").flow_id == "a"
+        assert scheduler.decision_flows_examined[-1] == 1
+        # The turn stayed open (3000 B of deficit left); the next
+        # decision resumes it and serves without a cursor scan.
+        assert scheduler.select("if0").flow_id == "a"
+        assert scheduler.decision_flows_examined[-1] == 1
+
+    def test_turn_spanning_decision_counts_resumed_flow(self):
+        scheduler = MiDrrScheduler(quantum_base=4500)
+        scheduler.register_interface("if0")
+        a = make_flow("a", backlog_packets=3)
+        b = make_flow("b", backlog_packets=1)
+        scheduler.add_flow(a)
+        scheduler.add_flow(b)
+        assert scheduler.select("if0").flow_id == "a"
+        # Drain a's remaining backlog behind the scheduler's back; its
+        # service turn is still open.
+        while a.backlogged:
+            a.pull()
+        # The next decision considers the resumed (now drained) flow a,
+        # closes its turn, then scans to b: two flows considered. The
+        # pre-fix counter forgot the resumed flow and reported 1.
+        assert scheduler.select("if0").flow_id == "b"
+        assert scheduler.decision_flows_examined[-1] == 2
+
+    def test_idle_interface_records_zero(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        scheduler.add_flow(make_flow("a"))
+        assert scheduler.select("if0") is None
+        assert scheduler.decision_flows_examined[-1] == 0
+
+
+class TestStateLeaks:
+    """Drain and removal must pop state keys, not zero them."""
+
+    def test_drain_pops_deficit_keys(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        scheduler.register_interface("if1")
+        flow = make_flow("a", backlog_packets=1)
+        scheduler.add_flow(flow)
+        assert scheduler.select("if0").flow_id == "a"
+        assert not flow.backlogged
+        # Pre-fix, _deactivate wrote a 0.0 entry per interface —
+        # including interfaces that never granted the flow a quantum —
+        # so the dict grew by one key per (flow ever served, interface).
+        assert flow_keys(scheduler._deficit, "a") == []
+        # Introspection still reads the popped counters as zero.
+        assert scheduler.deficit("a") == 0.0
+
+    def test_drain_pops_flow_scoped_deficit(self):
+        scheduler = MiDrrScheduler(deficit_scope="flow")
+        scheduler.register_interface("if0")
+        flow = make_flow("a", backlog_packets=1)
+        scheduler.add_flow(flow)
+        assert scheduler.select("if0").flow_id == "a"
+        assert flow_keys(scheduler._deficit, "a") == []
+
+    def test_remove_flow_pops_flags_and_deficits(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        scheduler.register_interface("if1")
+        flow = make_flow("a", backlog_packets=5)
+        scheduler.add_flow(flow)
+        scheduler.add_flow(make_flow("b", backlog_packets=5))
+        assert scheduler.select("if0").flow_id == "a"
+        scheduler.remove_flow("a")
+        assert flow_keys(scheduler._service_flags, "a") == []
+        assert flow_keys(scheduler._deficit, "a") == []
+        assert MiDrrInvariantChecker(scheduler).check() == []
+
+    def test_flags_initialized_for_willing_interfaces_only(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        scheduler.register_interface("if1")
+        scheduler.add_flow(make_flow("a", interfaces=("if0",)))
+        assert flow_keys(scheduler._service_flags, "a") == [("a", "if0")]
+
+    def test_checker_reports_injected_stale_key(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        scheduler._service_flags[("ghost", "if0")] = 1
+        scheduler._deficit[("ghost", "if0")] = 0.0
+        violations = MiDrrInvariantChecker(scheduler).check()
+        assert sum("stale" in violation for violation in violations) == 2
+
+
+class TestActivationContract:
+    """select() never rescans; notify_backlogged is the wake-up path."""
+
+    def test_rebacklogged_flow_needs_notification(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        flow = make_flow("a", backlog_packets=1)
+        scheduler.add_flow(flow)
+        assert scheduler.select("if0").flow_id == "a"
+        flow.offer(Packet(flow_id="a", size_bytes=1500))
+        # Without the notification the flow stays out of the round —
+        # the per-decision flow-table rescan that used to paper over a
+        # missing notify is gone (see notify_backlogged's docstring).
+        assert scheduler.select("if0") is None
+        scheduler.notify_backlogged(flow)
+        assert scheduler.select("if0").flow_id == "a"
+
+
+class TestWillingIndex:
+    """The cached Π_i row self-heals on preference/topology changes."""
+
+    def test_direct_restrict_to_invalidates(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        scheduler.register_interface("if1")
+        flow = make_flow("a")
+        scheduler.add_flow(flow)
+        assert scheduler.willing_interfaces(flow) == ("if0", "if1")
+        flow.restrict_to({"if1"})  # no notification on purpose
+        assert scheduler.willing_interfaces(flow) == ("if1",)
+
+    def test_late_interface_registration_invalidates(self):
+        scheduler = MiDrrScheduler()
+        scheduler.register_interface("if0")
+        flow = make_flow("a")
+        scheduler.add_flow(flow)
+        assert scheduler.willing_interfaces(flow) == ("if0",)
+        scheduler.register_interface("if1")
+        assert scheduler.willing_interfaces(flow) == ("if0", "if1")
+
+
+class CountingInterface(Interface):
+    """An interface that counts kick() calls."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kick_calls = 0
+
+    def kick(self):
+        self.kick_calls += 1
+        super().kick()
+
+
+class TestKickScope:
+    """Engine kicks reach only up, willing interfaces."""
+
+    def build(self, sim):
+        engine = SchedulingEngine(sim, MiDrrScheduler())
+        interfaces = {}
+        for interface_id in ("if0", "if1", "if2"):
+            interface = CountingInterface(sim, interface_id, 12_000)
+            engine.add_interface(interface)
+            interfaces[interface_id] = interface
+        return engine, interfaces
+
+    def test_completion_kicks_only_up_willing(self, sim):
+        engine, interfaces = self.build(sim)
+        interfaces["if2"].bring_down()
+        flow = make_flow("a", interfaces=("if0", "if2"))
+        engine.add_flow(flow)
+        for interface in interfaces.values():
+            interface.kick_calls = 0
+        engine._complete_flow(flow)
+        assert interfaces["if0"].kick_calls == 1
+        assert interfaces["if1"].kick_calls == 0  # unwilling
+        assert interfaces["if2"].kick_calls == 0  # down
+
+    def test_preference_change_kicks_only_up_willing(self, sim):
+        engine, interfaces = self.build(sim)
+        interfaces["if2"].bring_down()
+        flow = make_flow("a", interfaces=("if0",), backlog_packets=1)
+        engine.add_flow(flow)
+        flow.restrict_to({"if1", "if2"})
+        for interface in interfaces.values():
+            interface.kick_calls = 0
+        engine.notify_preferences_changed("a")
+        assert interfaces["if0"].kick_calls == 0  # no longer willing
+        assert interfaces["if1"].kick_calls == 1
+        assert interfaces["if2"].kick_calls == 0  # down
+
+
+class RescanMiDrrScheduler(MiDrrScheduler):
+    """Reference model: the pre-refactor per-decision table rescan."""
+
+    def select(self, interface_id):
+        state = self._states.get(interface_id)
+        if state is not None:
+            for flow in self._flows.values():
+                if (
+                    flow.backlogged
+                    and flow.willing_to_use(interface_id)
+                    and flow.flow_id not in state.active
+                ):
+                    state.active[flow.flow_id] = None
+        return super().select(interface_id)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_event_driven_activation_matches_rescan(data):
+    """Notified activation ≡ per-decision rescan, decision for decision.
+
+    Random topology, Π, weights and an interleaved offer/select op
+    sequence; both schedulers receive identical notifications (the
+    engine's contract). The served sequences and the per-decision
+    telemetry must agree exactly.
+    """
+    num_interfaces = data.draw(st.integers(1, 3), label="interfaces")
+    interface_ids = [f"if{j}" for j in range(num_interfaces)]
+    flow_specs = data.draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from([0.5, 1.0, 2.0]),
+                st.sets(st.sampled_from(interface_ids), min_size=1),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        label="flows",
+    )
+    ops = data.draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("offer"),
+                    st.integers(0, len(flow_specs) - 1),
+                    st.sampled_from([500, 1000, 1500]),
+                ),
+                st.tuples(st.just("select"), st.integers(0, num_interfaces - 1)),
+            ),
+            max_size=60,
+        ),
+        label="ops",
+    )
+
+    def build(scheduler_class):
+        scheduler = scheduler_class(quantum_base=1500)
+        for interface_id in interface_ids:
+            scheduler.register_interface(interface_id)
+        flows = []
+        for index, (weight, willing) in enumerate(flow_specs):
+            flow = Flow(
+                f"flow{index}", weight=weight, allowed_interfaces=sorted(willing)
+            )
+            scheduler.add_flow(flow)
+            flows.append(flow)
+        return scheduler, flows
+
+    subject, subject_flows = build(MiDrrScheduler)
+    reference, reference_flows = build(RescanMiDrrScheduler)
+
+    subject_trace = []
+    reference_trace = []
+    for op in ops:
+        if op[0] == "offer":
+            _, index, size = op
+            for scheduler, flows in (
+                (subject, subject_flows),
+                (reference, reference_flows),
+            ):
+                flow = flows[index]
+                was_empty = not flow.backlogged
+                flow.offer(Packet(flow_id=flow.flow_id, size_bytes=size))
+                if was_empty:
+                    scheduler.notify_backlogged(flow)
+        else:
+            interface_id = interface_ids[op[1]]
+            for scheduler, trace in (
+                (subject, subject_trace),
+                (reference, reference_trace),
+            ):
+                packet = scheduler.select(interface_id)
+                trace.append(
+                    None
+                    if packet is None
+                    else (interface_id, packet.flow_id, packet.size_bytes)
+                )
+    assert subject_trace == reference_trace
+    assert (
+        subject.decision_flows_examined == reference.decision_flows_examined
+    )

@@ -92,3 +92,57 @@ class TestQueueBasics:
         queue.push(0.0, lambda a, b: result.append(a + b), (2, 3))
         queue.pop().fire()
         assert result == [5]
+
+
+class TestPopReady:
+    def test_fuses_peek_and_pop(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        assert queue.pop_ready().time == 1.0
+        assert queue.pop_ready(until=1.5) is None  # next event is later
+        assert len(queue) == 1  # the too-late event stays queued
+        assert queue.pop_ready(until=2.0).time == 2.0
+        assert queue.pop_ready() is None  # empty
+
+    def test_skips_cancelled_heads(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None).cancel()
+        queue.push(2.0, lambda: None)
+        assert queue.pop_ready().time == 2.0
+
+
+class TestCompaction:
+    def test_queue_cancel_compacts_when_mostly_dead(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            queue.cancel(event)
+        # Once the queue-cancelled entries outnumbered the live ones
+        # (and passed the minimum threshold) the heap was swept; the
+        # cancellations after that sweep sit below the threshold again.
+        assert len(queue) < 150
+        assert [queue.pop().time for _ in range(3)] == [150.0, 151.0, 152.0]
+
+    def test_direct_event_cancel_does_not_compact(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()  # bypasses the queue's bookkeeping
+        assert len(queue) == 200  # still lazily discarded on pop
+        assert queue.pop().time == 150.0
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)  # must not double-count
+        assert queue._cancelled_count == 1
+
+    def test_compact_returns_removed_count(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.compact() == 1
+        assert len(queue) == 1

@@ -122,3 +122,26 @@ class TestExecution:
             sim.schedule(t, lambda: None)
         sim.run()
         assert sim.events_processed == 3
+
+
+class TestCancellation:
+    def test_sim_cancel_skips_event(self, sim):
+        fired = []
+        keep = sim.schedule(2.0, fired.append, "keep")
+        drop = sim.schedule(1.0, fired.append, "drop")
+        sim.cancel(drop)
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_cancel_heavy_run_bounds_pending(self, sim):
+        # Re-armed timers (cancel + reschedule) must not grow the heap:
+        # queue-routed cancellations trigger compaction.
+        pending = []
+        for i in range(500):
+            if pending:
+                sim.cancel(pending.pop())
+            pending.append(sim.schedule(1000.0 + i, lambda: None))
+        assert sim.pending_events < 500
+        sim.run()
+        assert sim.events_processed == 1
