@@ -60,6 +60,12 @@ from .faults.timeline import FaultEvent, FaultTimeline
 from .health.invariants import MiDrrInvariantChecker
 from .health.watchdog import Alert, Watchdog
 from .net.flow import Flow
+from .obs import (
+    MetricsRegistry,
+    SnapshotProcess,
+    instrument_engine,
+    instrument_watchdog,
+)
 from .net.interface import CapacityStep, Interface
 from .net.packet import Packet
 from .prefs.policy import AnyInterface, DevicePolicy, Except, Only, Prefer
@@ -96,6 +102,7 @@ __all__ = [
     "HttpError",
     "Interface",
     "InterfaceSpec",
+    "MetricsRegistry",
     "MiDrrInvariantChecker",
     "MiDrrScheduler",
     "MobileDevice",
@@ -114,12 +121,15 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "Simulator",
+    "SnapshotProcess",
     "StaticSplitScheduler",
     "TrafficSpec",
     "Watchdog",
     "WatchdogError",
     "WfqScheduler",
     "build_default_chaos",
+    "instrument_engine",
+    "instrument_watchdog",
     "run_chaos",
     "run_conformance",
     "run_scenario",

@@ -8,7 +8,7 @@ need on-line estimates; these two estimators cover the usual cases.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Deque, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -18,7 +18,20 @@ class WindowedRateEstimator:
 
     ``add(time, nbytes)`` records service; ``rate_bps(now)`` returns the
     byte rate over the trailing window, in bits/second.
+
+    Cold start: before a full window's worth of time has elapsed since
+    the first sample, the rate is computed over the *elapsed* span
+    ``now - first_sample_time`` rather than the full window — dividing
+    by the full window before it has filled systematically
+    under-reports early rates (the pre-fix behaviour). The effective
+    span is floored at ``COLD_START_FLOOR_FRACTION × window`` so a
+    query issued at (or pathologically close to) the first sample's
+    timestamp cannot divide by zero or report an absurd spike.
     """
+
+    #: Floor on the cold-start effective window, as a fraction of the
+    #: configured window (documented contract, see class docstring).
+    COLD_START_FLOOR_FRACTION = 0.01
 
     def __init__(self, window: float) -> None:
         if window <= 0:
@@ -26,11 +39,14 @@ class WindowedRateEstimator:
         self.window = window
         self._events: Deque[Tuple[float, int]] = deque()
         self._total_bytes = 0
+        self._first_time: Optional[float] = None
 
     def add(self, time: float, nbytes: int) -> None:
         """Record *nbytes* of service at *time* (non-decreasing)."""
         if self._events and time < self._events[-1][0]:
             raise ConfigurationError("samples must arrive in time order")
+        if self._first_time is None:
+            self._first_time = time
         self._events.append((time, nbytes))
         self._total_bytes += nbytes
         self._evict(time)
@@ -42,9 +58,13 @@ class WindowedRateEstimator:
             self._total_bytes -= nbytes
 
     def rate_bps(self, now: float) -> float:
-        """Rate over ``(now − window, now]``."""
+        """Rate over ``(now − window, now]`` (elapsed-span cold start)."""
         self._evict(now)
-        return self._total_bytes * 8 / self.window
+        if self._first_time is None:
+            return 0.0
+        floor = self.window * self.COLD_START_FLOOR_FRACTION
+        effective = min(self.window, max(now - self._first_time, floor))
+        return self._total_bytes * 8 / effective
 
 
 class EwmaRateEstimator:
@@ -52,6 +72,13 @@ class EwmaRateEstimator:
 
     Standard TCP-style estimator: each inter-sample gap contributes an
     instantaneous rate that is folded in with gain ``alpha``.
+
+    Byte conservation: the priming sample's bytes and the bytes of any
+    sample sharing a timestamp with its predecessor are *carried
+    forward* and attributed to the next positive inter-sample gap. The
+    pre-fix implementation silently discarded both (an early-return on
+    ``gap <= 0``), so bursts of same-instant deliveries — exactly what
+    a multi-interface scheduler produces — were under-counted.
     """
 
     def __init__(self, alpha: float = 0.2) -> None:
@@ -60,20 +87,27 @@ class EwmaRateEstimator:
         self.alpha = alpha
         self._last_time: float = 0.0
         self._rate_bps: float = 0.0
+        self._pending_bytes: int = 0
         self._primed = False
 
     def add(self, time: float, nbytes: int) -> None:
         """Record *nbytes* delivered at *time*."""
         if not self._primed:
             self._last_time = time
+            self._pending_bytes = nbytes
             self._primed = True
             return
         gap = time - self._last_time
         if gap <= 0:
+            # Same-instant (or out-of-order) delivery: no span to rate
+            # over yet — bank the bytes for the next real gap instead
+            # of dropping them.
+            self._pending_bytes += nbytes
             return
-        instantaneous = nbytes * 8 / gap
+        instantaneous = (self._pending_bytes + nbytes) * 8 / gap
         self._rate_bps += self.alpha * (instantaneous - self._rate_bps)
         self._last_time = time
+        self._pending_bytes = 0
 
     @property
     def rate_bps(self) -> float:

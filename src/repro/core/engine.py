@@ -23,7 +23,7 @@ starts immediately.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
 from ..errors import ConfigurationError
 from ..net.flow import Flow
@@ -69,6 +69,14 @@ class SchedulingEngine:
         ] = {}
         self._completion_listeners: List[Callable[[Flow], None]] = []
         self._quarantine_listeners: List[Callable[[Flow, bool], None]] = []
+        # Optional select() wrapper installed by the telemetry layer
+        # (decision-latency sampling). None keeps the supply path at a
+        # single attribute check, so uninstrumented runs pay nothing.
+        self._decision_probe: Optional[
+            Callable[[Interface], Optional[Packet]]
+        ] = None
+        self._probe_stride = 1
+        self._probe_countdown = 1
         self.stats = stats if stats is not None else StatsCollector(sim)
 
     @property
@@ -90,6 +98,25 @@ class SchedulingEngine:
     def quarantined_flows(self) -> Dict[str, Flow]:
         """Flows currently parked because their whole Π-set is down."""
         return dict(self._quarantined)
+
+    @property
+    def num_flows(self) -> int:
+        """Active flow count — O(1), unlike ``len(engine.flows)``,
+        which copies the table (telemetry reads this every snapshot)."""
+        return len(self._flows)
+
+    @property
+    def num_quarantined(self) -> int:
+        """Quarantined flow count — O(1) (see :attr:`num_flows`)."""
+        return len(self._quarantined)
+
+    def iter_flows(self) -> Iterable[Flow]:
+        """A live, copy-free view of the active flows.
+
+        For read-only traversal (telemetry sampling); do not add or
+        remove flows while iterating.
+        """
+        return self._flows.values()
 
     # ------------------------------------------------------------------
     # Topology
@@ -236,7 +263,38 @@ class SchedulingEngine:
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
+    def set_decision_probe(
+        self,
+        probe: Optional[Callable[[Interface], Optional[Packet]]],
+        every: int = 1,
+    ) -> None:
+        """Install (or clear, with ``None``) a ``select()`` wrapper.
+
+        Every ``every``-th decision is routed through the probe: it
+        receives the asking interface and must return the scheduler's
+        decision — typically by calling
+        ``engine.scheduler.select(interface.interface_id)`` itself,
+        timing or counting around it. Off-cycle decisions go straight
+        to the scheduler and pay only an integer countdown, so a
+        sampling probe adds no Python frame to the common case.
+        ``repro.obs`` uses this for sampled decision-latency
+        measurement; the probe must not change *which* packet is
+        selected.
+        """
+        if probe is not None and every <= 0:
+            raise ConfigurationError(
+                f"probe stride must be positive, got {every}"
+            )
+        self._decision_probe = probe
+        self._probe_stride = every
+        self._probe_countdown = every
+
     def _supply_packet(self, interface: Interface) -> Optional[Packet]:
+        if self._decision_probe is not None:
+            self._probe_countdown -= 1
+            if self._probe_countdown <= 0:
+                self._probe_countdown = self._probe_stride
+                return self._decision_probe(interface)
         return self._scheduler.select(interface.interface_id)
 
     def _packet_arrived(self, flow: Flow, packet: Packet) -> None:

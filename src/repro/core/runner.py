@@ -188,8 +188,15 @@ def run_scenario(
     scenario: Scenario,
     scheduler_factory: SchedulerFactory,
     max_events: Optional[int] = None,
+    on_engine: Optional[Callable[[Simulator, SchedulingEngine], None]] = None,
 ) -> ExperimentResult:
-    """Run *scenario* under a scheduler built by *scheduler_factory*."""
+    """Run *scenario* under a scheduler built by *scheduler_factory*.
+
+    *on_engine*, if given, is called with ``(sim, engine)`` after the
+    topology and flows are wired but before the first kick — the hook
+    observability and health layers use to attach instrumentation or
+    watchdogs to a scenario run without rebuilding the harness.
+    """
     sim = Simulator()
     streams = RandomStreams(scenario.seed)
     scheduler = scheduler_factory()
@@ -223,6 +230,8 @@ def run_scenario(
                 flow_spec.start_time, engine.add_flow, flow, source
             )
 
+    if on_engine is not None:
+        on_engine(sim, engine)
     engine.start()
     sim.run(until=scenario.duration, max_events=max_events)
     return result

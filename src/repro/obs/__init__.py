@@ -1,0 +1,51 @@
+"""Observability: metrics, periodic snapshots, and instrumentation.
+
+``repro.obs`` is the telemetry layer the ROADMAP's production-scale
+north star needs: counters, gauges, streaming histograms and quantile
+sketches behind a :class:`MetricsRegistry`; a
+:class:`SnapshotProcess` that samples the registry on the *virtual*
+clock and exports JSONL; and :func:`instrument_engine` /
+:func:`instrument_watchdog`, which wire a running
+:class:`~repro.core.engine.SchedulingEngine`, its scheduler and
+interfaces, and the health watchdog into a registry without
+perturbing the hot path (see ``docs/observability.md`` for the metric
+catalog and measured overhead).
+"""
+
+from .instrument import (
+    DECISION_LATENCY_SAMPLE_EVERY,
+    EngineInstrumentation,
+    instrument_engine,
+    instrument_watchdog,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
+from .snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotProcess,
+    read_jsonl,
+    render_final_report,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DECISION_LATENCY_SAMPLE_EVERY",
+    "EngineInstrumentation",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotProcess",
+    "instrument_engine",
+    "instrument_watchdog",
+    "read_jsonl",
+    "render_final_report",
+    "write_jsonl",
+]

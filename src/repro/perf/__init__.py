@@ -16,19 +16,35 @@ from .core_bench import (
     DEFAULT_TARGET_PACKETS,
     build_core_scenario,
     render_bench_table,
+    run_cell,
     run_core_bench,
     validate_bench_document,
     write_bench_document,
+)
+from .obs_bench import (
+    DEFAULT_OVERHEAD_TARGET_PACKETS,
+    OVERHEAD_BUDGET,
+    OVERHEAD_NOISE_CEILING,
+    committed_baseline_cell,
+    render_overhead_table,
+    run_metrics_overhead,
 )
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_FLOW_COUNTS",
     "DEFAULT_INTERFACE_COUNTS",
+    "DEFAULT_OVERHEAD_TARGET_PACKETS",
     "DEFAULT_TARGET_PACKETS",
+    "OVERHEAD_BUDGET",
+    "OVERHEAD_NOISE_CEILING",
     "build_core_scenario",
+    "committed_baseline_cell",
     "render_bench_table",
+    "render_overhead_table",
+    "run_cell",
     "run_core_bench",
+    "run_metrics_overhead",
     "validate_bench_document",
     "write_bench_document",
 ]

@@ -143,8 +143,18 @@ def run_cell(
     target_packets: int = DEFAULT_TARGET_PACKETS,
     packet_size: int = 1500,
     quantum_base: int = 1500,
+    instrument: bool = False,
 ) -> Dict[str, object]:
-    """Run one grid cell and return its measurement row."""
+    """Run one grid cell and return its measurement row.
+
+    With ``instrument=True`` the cell runs with the full ``repro.obs``
+    stack attached — engine instrumentation plus a 20-tick
+    :class:`~repro.obs.snapshot.SnapshotProcess` — which is how the
+    metrics-overhead bench measures the telemetry tax. Instrumentation
+    must not perturb scheduling: packet and decision counts are
+    identical to the uninstrumented cell (the obs smoke test asserts
+    this); only event counts grow by the snapshot ticks.
+    """
     scenario = build_core_scenario(
         num_flows,
         num_interfaces,
@@ -152,9 +162,30 @@ def run_cell(
         target_packets=target_packets,
         packet_size=packet_size,
     )
+    on_engine = None
+    captured = {}
+    if instrument:
+        # Imported lazily: perf must stay importable without obs in
+        # partial checkouts, and the uninstrumented path pays nothing.
+        from ..obs import MetricsRegistry, SnapshotProcess, instrument_engine
+
+        def on_engine(sim, engine):
+            registry = MetricsRegistry()
+            instrumentation = instrument_engine(engine, registry)
+            snapshots = SnapshotProcess(
+                sim,
+                registry,
+                period=scenario.duration / 20,
+                pre_sample=[instrumentation.sample],
+            )
+            snapshots.start()
+            captured["snapshots"] = snapshots
+
     started = time.perf_counter()
     result = run_scenario(
-        scenario, lambda: MiDrrScheduler(quantum_base=quantum_base)
+        scenario,
+        lambda: MiDrrScheduler(quantum_base=quantum_base),
+        on_engine=on_engine,
     )
     wall = time.perf_counter() - started
     packets = sum(
@@ -164,7 +195,7 @@ def run_cell(
     decisions = len(result.engine.scheduler.decision_flows_examined)
     events = result.sim.events_processed
     wall = max(wall, 1e-9)
-    return {
+    cell = {
         "flows": num_flows,
         "interfaces": num_interfaces,
         "virtual_seconds": round(scenario.duration, 6),
@@ -176,6 +207,11 @@ def run_cell(
         "packets_per_sec": round(packets / wall, 1),
         "decisions_per_sec": round(decisions / wall, 1),
     }
+    if instrument:
+        cell["telemetry_seconds"] = round(
+            captured["snapshots"].telemetry_seconds, 6
+        )
+    return cell
 
 
 def run_core_bench(

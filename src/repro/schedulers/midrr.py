@@ -159,6 +159,14 @@ class MiDrrScheduler(MultiInterfaceScheduler):
         self.decision_flows_examined: List[int] = []
         # Telemetry: service turns granted per flow (Lemmas 5/6 tests).
         self.turns_taken: Dict[str, int] = {}
+        # Telemetry: rule-1 flag sets and rule-2 flag clears (skip
+        # consumptions). Plain integers so the hot path pays one
+        # increment; repro.obs samples them into registry gauges.
+        self.flags_set_total = 0
+        self.flags_cleared_total = 0
+        # Live count of nonzero service flags (pending_flags()); kept
+        # in step at every flag transition and flow removal.
+        self._pending_flags_count = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -203,6 +211,23 @@ class MiDrrScheduler(MultiInterfaceScheduler):
             )
         return self._deficit.get((flow_id, interface_id), 0.0)
 
+    def deficit_backlog(self) -> float:
+        """Total granted, unspent deficit across all live counters.
+
+        The aggregate "how much service is owed" level the telemetry
+        layer samples; bounded by ``Q_max × flows × interfaces`` when
+        the deficit-reset invariant holds (the health checker's claim).
+        """
+        return sum(self._deficit.values())
+
+    def pending_flags(self) -> int:
+        """Number of (flow, interface) pairs with a pending skip.
+
+        Maintained incrementally at flag set/clear/removal so telemetry
+        can read it every snapshot without scanning the flag table.
+        """
+        return self._pending_flags_count
+
     def _deficit_key(self, flow_id: str, interface_id: str) -> object:
         if self._deficit_scope == "flow":
             return flow_id
@@ -224,7 +249,10 @@ class MiDrrScheduler(MultiInterfaceScheduler):
         # interface is never set by rule 1 nor read by rule 2, and the
         # getters default a missing key to zero.
         for interface_id in self.willing_interfaces(flow):
-            self._service_flags[(flow.flow_id, interface_id)] = 0
+            key = (flow.flow_id, interface_id)
+            if self._service_flags.get(key, 0):
+                self._pending_flags_count -= 1
+            self._service_flags[key] = 0
         if flow.backlogged:
             self._activate(flow)
 
@@ -234,7 +262,8 @@ class MiDrrScheduler(MultiInterfaceScheduler):
             if state.current == flow.flow_id:
                 state.current = None
                 state.turn_open = False
-            self._service_flags.pop((flow.flow_id, interface_id), None)
+            if self._service_flags.pop((flow.flow_id, interface_id), 0):
+                self._pending_flags_count -= 1
             self._deficit.pop((flow.flow_id, interface_id), None)
         self._deficit.pop(flow.flow_id, None)
 
@@ -291,12 +320,20 @@ class MiDrrScheduler(MultiInterfaceScheduler):
         if self._exclusion == "flag":
             for interface_id in self.willing_interfaces(flow):
                 if interface_id != serving_interface:
-                    flags[(flow_id, interface_id)] = 1
+                    key = (flow_id, interface_id)
+                    if not flags.get(key, 0):
+                        self.flags_set_total += 1
+                        self._pending_flags_count += 1
+                    flags[key] = 1
         else:
             for interface_id in self.willing_interfaces(flow):
                 if interface_id != serving_interface:
                     key = (flow_id, interface_id)
-                    flags[key] = min(COUNTER_CAP, flags.get(key, 0) + 1)
+                    previous = flags.get(key, 0)
+                    if not previous:
+                        self._pending_flags_count += 1
+                    flags[key] = min(COUNTER_CAP, previous + 1)
+                    self.flags_set_total += 1
 
     # ------------------------------------------------------------------
     # Algorithm 3.1 with Algorithm 3.2 spliced in
@@ -410,9 +447,11 @@ class MiDrrScheduler(MultiInterfaceScheduler):
             pending = self._service_flags.get(flag_key, 0)
             if pending:
                 # Rule 2: consume one skip without granting quantum.
-                self._service_flags[flag_key] = (
-                    0 if self._exclusion == "flag" else pending - 1
-                )
+                remaining = 0 if self._exclusion == "flag" else pending - 1
+                self._service_flags[flag_key] = remaining
+                if not remaining:
+                    self._pending_flags_count -= 1
+                self.flags_cleared_total += 1
                 continue
             return flow_id, examined
         return None, examined

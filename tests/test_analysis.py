@@ -121,12 +121,29 @@ class TestEmpiricalCdf:
 
 
 class TestRateEstimators:
-    def test_windowed_rate(self):
+    def test_windowed_rate_cold_start(self):
+        # Regression: before the window has filled, the rate is taken
+        # over the elapsed span (1.5 s here), not the full 2 s window —
+        # the old full-window division under-reported early rates.
         estimator = WindowedRateEstimator(window=2.0)
         estimator.add(0.5, 250)
         estimator.add(1.5, 250)
-        # 500 B over a 2 s window = 2000 b/s.
-        assert estimator.rate_bps(2.0) == pytest.approx(2000.0)
+        assert estimator.rate_bps(2.0) == pytest.approx(500 * 8 / 1.5)
+
+    def test_windowed_rate_steady_state(self):
+        # Once a full window has elapsed the divisor is the window.
+        estimator = WindowedRateEstimator(window=2.0)
+        for i in range(9):
+            estimator.add(i * 0.5, 250)  # every 0.5 s through t=4.0
+        # Window (2.0, 4.0] holds four samples = 1000 B.
+        assert estimator.rate_bps(4.0) == pytest.approx(1000 * 8 / 2.0)
+
+    def test_windowed_cold_start_floor(self):
+        # A query at the first sample's own timestamp divides by the
+        # documented floor (1% of the window), not by zero.
+        estimator = WindowedRateEstimator(window=1.0)
+        estimator.add(0.0, 125)
+        assert estimator.rate_bps(0.0) == pytest.approx(125 * 8 / 0.01)
 
     def test_windowed_eviction(self):
         estimator = WindowedRateEstimator(window=1.0)
@@ -145,6 +162,27 @@ class TestRateEstimators:
         for i in range(50):
             estimator.add(i * 0.1, 125)  # 10 kbit/s steady
         assert estimator.rate_bps == pytest.approx(10_000.0, rel=0.01)
+
+    def test_ewma_priming_bytes_counted(self):
+        # Regression: the priming sample's bytes fold into the first
+        # real gap instead of being discarded.
+        estimator = EwmaRateEstimator(alpha=1.0)
+        estimator.add(0.0, 100)
+        estimator.add(1.0, 100)
+        assert estimator.rate_bps == pytest.approx((100 + 100) * 8 / 1.0)
+
+    def test_ewma_zero_gap_bytes_banked(self):
+        # Regression: same-instant deliveries (multi-interface bursts)
+        # bank their bytes for the next positive gap instead of being
+        # dropped.
+        estimator = EwmaRateEstimator(alpha=1.0)
+        estimator.add(0.0, 100)
+        estimator.add(1.0, 50)
+        assert estimator.rate_bps == pytest.approx(150 * 8 / 1.0)
+        estimator.add(1.0, 70)  # zero gap: banked, estimate unchanged
+        assert estimator.rate_bps == pytest.approx(150 * 8 / 1.0)
+        estimator.add(2.0, 30)
+        assert estimator.rate_bps == pytest.approx((70 + 30) * 8 / 1.0)
 
     def test_ewma_invalid_alpha(self):
         with pytest.raises(ConfigurationError):

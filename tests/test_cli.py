@@ -143,6 +143,60 @@ class TestChaosCommand:
         assert "stats signature:" in out
 
 
+class TestObsCommand:
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["obs", "--flows", "7", "--interfaces", "3", "--out", "x.jsonl"]
+        )
+        assert args.flows == 7
+        assert args.interfaces == 3
+        assert args.out == "x.jsonl"
+        assert args.selftest is False
+
+    def test_obs_selftest_passes(self, capsys):
+        assert main(["obs", "--selftest"]) == 0
+        assert "obs selftest: ok" in capsys.readouterr().out
+
+    def test_obs_run_writes_snapshots(self, capsys, tmp_path):
+        out = tmp_path / "obs.jsonl"
+        exit_code = main(
+            [
+                "obs",
+                "--flows", "10",
+                "--interfaces", "2",
+                "--target-packets", "200",
+                "--out", str(out),
+            ]
+        )
+        assert exit_code == 0
+        stdout = capsys.readouterr().out
+        assert "engine.packets_sent_total" in stdout
+        assert "health.ticks" in stdout
+
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(out))
+        assert records
+        assert all(record["schema_version"] == 1 for record in records)
+
+    def test_obs_run_from_scenario_file(self, capsys, tmp_path):
+        import json
+
+        from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario
+        from repro.units import mbps
+
+        scenario = Scenario(
+            name="obsfile",
+            interfaces=(InterfaceSpec("if1", mbps(5)),),
+            flows=(FlowSpec("a"),),
+            duration=2.0,
+        )
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario.to_dict()))
+        assert main(["obs", "--scenario", str(path)]) == 0
+        assert "obsfile" in capsys.readouterr().out
+
+
 class TestFctCommand:
     def test_fct_runs(self, capsys):
         assert main(["fct", "--light"]) == 0

@@ -1,10 +1,13 @@
 """Unit tests for the stats collector."""
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.net.interface import Interface
 from repro.net.packet import Packet
 from repro.net.sink import StatsCollector
+from repro.sim.simulator import Simulator
 
 
 class TestDirectRecording:
@@ -88,6 +91,105 @@ class TestTimeseries:
         stats = StatsCollector(sim)
         assert stats.rate_timeseries("a", bin_width=0) == []
         assert stats.rate_timeseries("a", bin_width=1.0, start=5.0, end=5.0) == []
+
+    def test_trailing_partial_bin_emitted(self, sim):
+        # Regression: a 2.5 s horizon with 1 s bins yields THREE bins;
+        # the pre-fix implementation truncated to two, silently
+        # dropping the 125 B served in (2.0, 2.5).
+        stats = StatsCollector(sim)
+        for t in (0.5, 1.5, 2.25):
+            sim.schedule(t, stats.record, "a", "if1", 125)
+        sim.run(until=2.5)
+        series = stats.service_timeseries("a", bin_width=1.0, end=2.5)
+        assert [(c, w) for c, w, _ in series] == [
+            (0.5, 1.0),
+            (1.5, 1.0),
+            (pytest.approx(2.25), pytest.approx(0.5)),
+        ]
+        assert [total for _, _, total in series] == [125, 125, 125]
+
+    def test_partial_bin_rate_uses_actual_width(self, sim):
+        stats = StatsCollector(sim)
+        sim.schedule(2.25, stats.record, "a", "if1", 125)
+        sim.run(until=2.5)
+        series = stats.rate_timeseries("a", bin_width=1.0, end=2.5)
+        # 125 B over the 0.5 s partial bin = 2000 b/s, not 1000 b/s.
+        assert series[-1] == (pytest.approx(2.25), pytest.approx(2000.0))
+
+    def test_sample_at_exact_horizon_counted(self, sim):
+        # Regression: a sample landing exactly at the horizon indexed
+        # one past the final bin and was discarded pre-fix.
+        stats = StatsCollector(sim)
+        sim.schedule(2.0, stats.record, "a", "if1", 125)
+        sim.run(until=2.0)
+        series = stats.service_timeseries("a", bin_width=1.0, end=2.0)
+        assert len(series) == 2
+        assert series[-1][2] == 125
+
+    def test_horizon_shorter_than_one_bin(self, sim):
+        stats = StatsCollector(sim)
+        sim.schedule(0.2, stats.record, "a", "if1", 100)
+        sim.run(until=0.25)
+        series = stats.service_timeseries("a", bin_width=1.0, end=0.25)
+        assert series == [
+            (pytest.approx(0.125), pytest.approx(0.25), 100)
+        ]
+
+
+class TestByteConservation:
+    """Hypothesis: binning never loses or double-counts service."""
+
+    @staticmethod
+    def _replay(events):
+        sim = Simulator()
+        stats = StatsCollector(sim)
+        for t, size in events:
+            sim.schedule(t, stats.record, "a", "if1", size)
+        sim.run()
+        return stats
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+                st.integers(1, 10_000),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        bin_width=st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False),
+        slack=st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False),
+    )
+    def test_bin_totals_conserve_bytes(self, events, bin_width, slack):
+        stats = self._replay(events)
+        horizon = max(t for t, _ in events) + slack
+        assume(horizon > 0)  # a zero-span window has no bins at all
+        series = stats.service_timeseries(
+            "a", bin_width=bin_width, end=horizon
+        )
+        assert sum(total for _, _, total in series) == stats.bytes_sent("a")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+                st.integers(1, 10_000),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        bin_width=st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False),
+    )
+    def test_bin_spans_cover_horizon(self, events, bin_width):
+        stats = self._replay(events)
+        horizon = max(t for t, _ in events)
+        assume(horizon > 0)
+        series = stats.service_timeseries(
+            "a", bin_width=bin_width, end=horizon
+        )
+        assert sum(width for _, width, _ in series) == pytest.approx(horizon)
 
 
 class TestInterfaceIntegration:

@@ -1,0 +1,260 @@
+"""Integration tests: instrumentation, snapshots, and the selftest.
+
+The load-bearing property here is **workload invariance**: attaching
+the full observability stack must not change a single scheduling
+decision. Everything else (gauge consistency, snapshot determinism,
+the JSONL round trip) builds on that.
+"""
+
+import pytest
+
+from repro.core.runner import run_scenario
+from repro.errors import ConfigurationError
+from repro.health.watchdog import Watchdog
+from repro.obs import (
+    MetricsRegistry,
+    SnapshotProcess,
+    instrument_engine,
+    instrument_watchdog,
+    read_jsonl,
+    render_final_report,
+    write_jsonl,
+)
+from repro.obs.selftest import run_selftest
+from repro.perf import build_core_scenario
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.sim.simulator import Simulator
+
+
+def _run_instrumented(num_flows=20, num_interfaces=2, target_packets=400):
+    scenario = build_core_scenario(
+        num_flows, num_interfaces, target_packets=target_packets
+    )
+    registry = MetricsRegistry()
+    captured = {}
+
+    def on_engine(sim, engine):
+        instrumentation = instrument_engine(engine, registry)
+        snapshots = SnapshotProcess(
+            sim,
+            registry,
+            period=scenario.duration / 10,
+            pre_sample=[instrumentation.sample],
+        )
+        snapshots.start()
+        captured["snapshots"] = snapshots
+        captured["instrumentation"] = instrumentation
+
+    result = run_scenario(scenario, MiDrrScheduler, on_engine=on_engine)
+    captured["snapshots"].sample_now()
+    return result, registry, captured
+
+
+class TestEngineInstrumentation:
+    def test_gauges_track_engine_state(self):
+        result, registry, _ = _run_instrumented()
+        engine = result.engine
+        collected = registry.collect()
+        packets = sum(
+            interface.packets_sent
+            for interface in engine.interfaces.values()
+        )
+        assert collected["engine.packets_sent_total"]["value"] == packets
+        assert collected["engine.flows"]["value"] == 20
+        assert collected["sched.decisions_total"]["value"] == len(
+            engine.scheduler.decision_flows_examined
+        )
+        assert collected["sched.flags_set_total"]["value"] > 0
+        for interface_id in engine.interfaces:
+            assert f"iface.{interface_id}.utilization" in registry
+
+    def test_decision_latency_sampled(self):
+        _, registry, _ = _run_instrumented()
+        sketch = registry.get("engine.decision_latency_seconds")
+        # One timed decision per 64; this run makes ~400+ decisions.
+        assert sketch.count > 0
+        assert sketch.quantile(0.5) > 0
+
+    def test_decision_work_drained_exactly_once(self):
+        result, registry, captured = _run_instrumented()
+        histogram = registry.get("sched.decision_work")
+        assert histogram.count == len(
+            result.engine.scheduler.decision_flows_examined
+        )
+        # Draining again adds nothing: the watermark advanced.
+        captured["instrumentation"].sample(result.sim.now)
+        assert histogram.count == len(
+            result.engine.scheduler.decision_flows_examined
+        )
+
+    def test_workload_invariance(self):
+        scenario = build_core_scenario(20, 2, target_packets=400)
+
+        def totals(result):
+            return (
+                sum(
+                    interface.packets_sent
+                    for interface in result.engine.interfaces.values()
+                ),
+                len(result.engine.scheduler.decision_flows_examined),
+            )
+
+        bare = run_scenario(scenario, MiDrrScheduler)
+
+        def on_engine(sim, engine):
+            instrumentation = instrument_engine(engine)
+            snapshots = SnapshotProcess(
+                sim,
+                instrumentation.registry,
+                period=scenario.duration / 10,
+                pre_sample=[instrumentation.sample],
+            )
+            snapshots.start()
+
+        instrumented = run_scenario(
+            scenario, MiDrrScheduler, on_engine=on_engine
+        )
+        assert totals(bare) == totals(instrumented)
+
+    def test_snapshots_deterministic_across_runs(self):
+        _, first_registry, first = _run_instrumented()
+        _, second_registry, second = _run_instrumented()
+
+        def stable(snapshots):
+            # Drop the only wall-clock-derived metric.
+            cleaned = []
+            for record in snapshots:
+                metrics = {
+                    name: payload
+                    for name, payload in record["metrics"].items()
+                    if name != "engine.decision_latency_seconds"
+                }
+                cleaned.append({**record, "metrics": metrics})
+            return cleaned
+
+        assert stable(first["snapshots"].snapshots) == stable(
+            second["snapshots"].snapshots
+        )
+
+    def test_detach_removes_probe(self):
+        result, _, captured = _run_instrumented()
+        captured["instrumentation"].detach()
+        assert result.engine._decision_probe is None
+
+    def test_invalid_sample_every(self):
+        scenario = build_core_scenario(2, 2, target_packets=50)
+        with pytest.raises(ConfigurationError):
+            run_scenario(
+                scenario,
+                MiDrrScheduler,
+                on_engine=lambda sim, engine: instrument_engine(
+                    engine, sample_every=0
+                ),
+            )
+
+
+class TestSnapshotProcess:
+    def test_periodic_sampling_on_virtual_clock(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks")
+        snapshots = SnapshotProcess(sim, registry, period=1.0)
+        for t in range(5):
+            sim.schedule(float(t), counter.inc)
+        snapshots.start()
+        sim.run(until=5.0)
+        snapshots.stop()
+        assert len(snapshots.snapshots) == 5
+        assert [record["seq"] for record in snapshots.snapshots] == list(
+            range(5)
+        )
+        assert all(
+            record["schema_version"] == 1 for record in snapshots.snapshots
+        )
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotProcess(Simulator(), MetricsRegistry(), period=0.0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        snapshots = SnapshotProcess(sim, registry)
+        snapshots.sample_now()
+        path = tmp_path / "snap.jsonl"
+        assert snapshots.write_jsonl(str(path)) == 1
+        assert read_jsonl(str(path)) == snapshots.snapshots
+
+    def test_read_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            read_jsonl(str(path))
+        path.write_text('{"no_metrics": true}\n')
+        with pytest.raises(ConfigurationError):
+            read_jsonl(str(path))
+
+    def test_module_level_write(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        records = [{"t": 0.0, "seq": 0, "metrics": {}}]
+        assert write_jsonl(str(path), records) == 1
+        assert read_jsonl(str(path)) == records
+
+
+class TestWatchdogInstrumentation:
+    def test_ticks_and_alert_counters(self):
+        scenario = build_core_scenario(5, 2, target_packets=4000)
+        registry = MetricsRegistry()
+        captured = {}
+
+        def on_engine(sim, engine):
+            watchdog = Watchdog(sim, engine, period=scenario.duration / 10)
+            instrument_watchdog(watchdog, registry)
+            watchdog.start()
+            captured["watchdog"] = watchdog
+
+        run_scenario(scenario, MiDrrScheduler, on_engine=on_engine)
+        watchdog = captured["watchdog"]
+        collected = registry.collect()
+        assert collected["health.ticks"]["value"] == watchdog.ticks > 0
+        assert collected["health.alerts_total"]["value"] == len(
+            watchdog.alerts
+        )
+
+    def test_alert_listener_counts_by_kind(self):
+        sim = Simulator()
+        scenario = build_core_scenario(2, 2, target_packets=50)
+        registry = MetricsRegistry()
+
+        def on_engine(sim, engine):
+            watchdog = Watchdog(sim, engine)
+            instrument_watchdog(watchdog, registry)
+            # Drive the listener directly: alert plumbing is what is
+            # under test, not the detection heuristics.
+            watchdog._raise("flow_starvation", "a", "test")
+            watchdog._raise("flow_starvation", "b", "test")
+
+        run_scenario(scenario, MiDrrScheduler, on_engine=on_engine)
+        collected = registry.collect()
+        assert collected["health.alerts_raised_total"]["value"] == 2
+        assert collected["health.alerts.flow_starvation_total"]["value"] == 2
+
+
+class TestReportAndSelftest:
+    def test_render_final_report(self):
+        _, registry, _ = _run_instrumented(
+            num_flows=5, num_interfaces=2, target_packets=100
+        )
+        text = render_final_report(registry, title="== t ==")
+        assert text.splitlines()[0] == "== t =="
+        assert "engine.packets_sent_total" in text
+        assert "sched.decision_work" in text
+
+    def test_selftest_healthy(self):
+        assert run_selftest() == []
+
+    def test_selftest_writes_requested_artifact(self, tmp_path):
+        path = tmp_path / "selftest.jsonl"
+        assert run_selftest(str(path)) == []
+        assert len(read_jsonl(str(path))) == 10

@@ -29,6 +29,8 @@ class TestExports:
             "repro.httpproxy",
             "repro.faults",
             "repro.health",
+            "repro.obs",
+            "repro.perf",
             "repro.trace",
             "repro.analysis",
             "repro.experiments",
