@@ -16,6 +16,8 @@ Usage::
     midrr obs --flows 100 --out obs.jsonl     # instrumented run + JSONL snapshots
     midrr obs --selftest                      # registry + JSONL round-trip check
     midrr run scenario.json --scheduler wfq   # replay a stored scenario
+    midrr checkpoint scenario.json --until 3 --out ckpt.json
+    midrr resume ckpt.json                    # replay from the snapshot
     midrr solve --interface if1=3e6 --interface if2=10e6 \\
                 --flow a:1:if1 --flow b:2:if1,if2 --flow c:1:if2
 """
@@ -55,6 +57,11 @@ from .perf import (
     run_core_bench,
     run_metrics_overhead,
     write_bench_document,
+)
+from .recovery import (
+    RecoverableScenarioRun,
+    load_checkpoint,
+    save_checkpoint,
 )
 from .schedulers.midrr import MiDrrScheduler
 from .schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
@@ -495,6 +502,63 @@ def cmd_run(args: argparse.Namespace) -> None:
         _print(render_table(["flow", "completed"], rows, title="== completions =="))
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> None:
+    """Run a scenario partway and save a versioned checkpoint file."""
+    with open(args.scenario, "r", encoding="utf-8") as handle:
+        scenario = Scenario.from_dict(json.load(handle))
+    if args.until <= 0 or args.until > scenario.duration:
+        raise SystemExit(
+            f"--until must be in (0, {scenario.duration:g}], got {args.until:g}"
+        )
+    factory = SCHEDULER_CHOICES[args.scheduler]
+    run = RecoverableScenarioRun(scenario, factory)
+    while not run.finished and run.sim.now < args.until:
+        if not run.step():
+            break
+    save_checkpoint(args.out, run.checkpoint())
+    print(
+        f"checkpointed {scenario.name!r} at t={run.sim.now:.3f}s "
+        f"({run.sim.events_processed} events, "
+        f"{run.decisions_made} scheduling decisions) -> {args.out}"
+    )
+
+
+def cmd_resume(args: argparse.Namespace) -> None:
+    """Restore a checkpoint file and replay to the scenario horizon.
+
+    The scheduler must match the one the checkpoint was taken under —
+    restore refuses a kind mismatch, just like it refuses a corrupted
+    or version-skewed file.
+    """
+    state = load_checkpoint(args.checkpoint)
+    factory = SCHEDULER_CHOICES[args.scheduler]
+    run = RecoverableScenarioRun.restore(state, factory)
+    resumed_at = run.sim.now
+    run.run_to_completion()
+    scenario = run.scenario
+    print(
+        f"resumed {scenario.name!r} at t={resumed_at:.3f}s, "
+        f"ran to t={run.sim.now:.3f}s "
+        f"({run.decisions_made} scheduling decisions total)"
+    )
+    rows = [
+        [
+            spec.flow_id,
+            format_rate(
+                run.engine.stats.bytes_sent(spec.flow_id) * 8 / scenario.duration
+            ),
+        ]
+        for spec in scenario.flows
+    ]
+    _print(render_table(["flow", "mean rate"], rows, title="== service =="))
+    if run.completions:
+        rows = [
+            [flow_id, f"{when:.2f} s"]
+            for flow_id, when in sorted(run.completions.items())
+        ]
+        _print(render_table(["flow", "completed"], rows, title="== completions =="))
+
+
 def cmd_solve(args: argparse.Namespace) -> None:
     """Solve a max-min instance given on the command line."""
     capacities: Dict[str, float] = {}
@@ -643,6 +707,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--warmup", type=float, default=2.0)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "checkpoint", help="run a scenario partway and save a checkpoint"
+    )
+    p.add_argument("scenario", help="path to a Scenario.to_dict() JSON document")
+    p.add_argument(
+        "--scheduler", choices=sorted(SCHEDULER_CHOICES), default="midrr"
+    )
+    p.add_argument(
+        "--until", type=float, required=True,
+        help="virtual time to stop and checkpoint at",
+    )
+    p.add_argument("--out", default="checkpoint.json")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "resume", help="restore a checkpoint and replay to the horizon"
+    )
+    p.add_argument("checkpoint", help="path to a checkpoint file")
+    p.add_argument(
+        "--scheduler", choices=sorted(SCHEDULER_CHOICES), default="midrr",
+        help="must match the scheduler the checkpoint was taken under",
+    )
+    p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser("all", help="run every figure")
     p.set_defaults(func=cmd_all)

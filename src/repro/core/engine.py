@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import CheckpointError, ConfigurationError
 from ..net.flow import Flow
 from ..net.interface import Interface
 from ..net.packet import Packet
@@ -353,6 +353,55 @@ class SchedulingEngine:
         for interface in willing:
             if interface.up:
                 interface.kick()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Engine membership, quarantine, scheduler and stats state.
+
+        Flows appear as ids only; their own mutable state is
+        snapshotted per flow by the checkpoint layer. Interfaces are
+        likewise snapshotted separately — the engine records run
+        membership, not substrate state.
+        """
+        return {
+            "flow_order": list(self._flows),
+            "quarantined": list(self._quarantined),
+            "scheduler": self._scheduler.snapshot_state(),
+            "stats": self.stats.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite membership and cascaded state from a snapshot.
+
+        The engine must already be wired the way the snapshotted one
+        was at build time: same interfaces, and every flow the snapshot
+        references added through :meth:`add_flow` (so arrival/drop
+        listeners exist). Flows that completed before the checkpoint
+        simply drop out of the membership tables here.
+        """
+        available = dict(self._flows)
+        restored: Dict[str, Flow] = {}
+        for flow_id in state["flow_order"]:
+            flow = available.get(flow_id)
+            if flow is None:
+                raise CheckpointError(
+                    f"snapshot references flow {flow_id!r} unknown to this engine"
+                )
+            restored[flow_id] = flow
+        self._flows = restored
+        self._sources = {
+            flow_id: source
+            for flow_id, source in self._sources.items()
+            if flow_id in restored
+        }
+        self._quarantined = {
+            flow_id: restored[flow_id] for flow_id in state["quarantined"]
+        }
+        self._willing_cache.clear()
+        self._scheduler.restore_state(state["scheduler"], restored)
+        self.stats.restore_state(state["stats"])
 
     # ------------------------------------------------------------------
     # Convenience

@@ -60,3 +60,29 @@ class FaultError(ReproError):
 class WatchdogError(ReproError):
     """The health watchdog was misconfigured, or — in strict mode — a
     runtime invariant it monitors was violated."""
+
+
+class CheckpointError(ReproError):
+    """A run-state checkpoint could not be taken or restored.
+
+    Examples: an event whose callback is not registered with the
+    checkpoint codec, or restoring a snapshot into a run built from a
+    different scenario.
+    """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint document failed its integrity check (bad checksum,
+    truncated payload, or a structurally invalid document)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint document carries an unsupported schema version."""
+
+
+class RecoveryError(ReproError):
+    """The recovery supervisor hit an unrecoverable condition.
+
+    Example: the crash-loop circuit breaker opened after repeated
+    restarts without forward progress.
+    """

@@ -15,9 +15,24 @@ Fault taxonomy (see ``docs/fault_model.md``):
   caught downstream by :class:`ChecksumVerifier` using the real
   :mod:`repro.net.headers` checksums;
 * :class:`PreferenceChurner` — mid-run weight / Π churn.
+
+Two additions for the recovery subsystem: :class:`FaultPlan` declares
+fault windows as validated-up-front data that materializes into
+checkpointable run extras, and :class:`CrashInjector` simulates the
+death of the *host process* at injected points (polled from outside
+the event heap) for the crash-equivalence harness
+:func:`run_crash_equivalence`.
 """
 
 from .chaos import ChaosReport, build_default_chaos, run_chaos
+from .crashes import (
+    CrashInjector,
+    EquivalenceReport,
+    KillPointResult,
+    SimulatedCrash,
+    run_crash_equivalence,
+)
+from .plan import PLAN_KINDS, FaultPlan, PlannedFault
 from .processes import (
     CapacityCollapse,
     ChecksumVerifier,
@@ -29,15 +44,22 @@ from .processes import (
 from .timeline import FaultEvent, FaultTimeline
 
 __all__ = [
+    "PLAN_KINDS",
     "CapacityCollapse",
     "ChaosReport",
     "ChecksumVerifier",
+    "CrashInjector",
+    "EquivalenceReport",
     "FaultEvent",
+    "FaultPlan",
     "FaultTimeline",
     "GilbertElliottFlapper",
+    "KillPointResult",
     "PacketCorruptionInjector",
     "PacketLossInjector",
+    "PlannedFault",
     "PreferenceChurner",
+    "SimulatedCrash",
     "build_default_chaos",
     "run_chaos",
 ]

@@ -1,0 +1,199 @@
+"""Declarative fault plans with up-front validation.
+
+A :class:`FaultPlan` describes *what goes wrong and when* — interface
+flapping windows, capacity collapses, loss/corruption spans, preference
+churn — as plain data, separate from the scenario it torments. The
+plan is validated **before anything runs**: unknown interface names,
+negative or inverted windows, out-of-order declarations and
+overlapping same-kind windows on one target all raise
+:class:`~repro.errors.FaultError` with a message naming the offending
+entry, instead of surfacing mid-run as a confusing simulation error
+(or worse, silently doing nothing).
+
+A validated plan doubles as an ``extras`` builder for
+:class:`~repro.recovery.runner.RecoverableScenarioRun`: :meth:`FaultPlan.apply`
+instantiates the corresponding fault processes and attaches them to
+the run, which makes chaos-style workloads checkpointable — the
+crash-equivalence suite runs a planned-fault scenario through
+kill/restore/replay like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from ..core.scenario import Scenario
+from ..errors import FaultError
+from .processes import (
+    CapacityCollapse,
+    GilbertElliottFlapper,
+    PacketLossInjector,
+    PreferenceChurner,
+)
+from .timeline import FaultTimeline
+
+#: Fault kinds a plan may declare.
+PLAN_KINDS = ("flap", "collapse", "loss", "churn")
+
+#: Kinds whose target must name a scenario interface. ``churn`` targets
+#: the whole engine and uses the wildcard target ``"*"``.
+_INTERFACE_KINDS = ("flap", "collapse", "loss")
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One planned fault window.
+
+    ``start`` .. ``end`` bound the fault's activity (``end=None`` means
+    it runs to the scenario horizon). ``params`` carries kind-specific
+    knobs (e.g. ``mean_up``/``mean_down`` for ``flap``,
+    ``collapse_factor``/``ramp_steps``/``ramp_duration`` for
+    ``collapse``, ``probability`` for ``loss``, ``period`` and
+    ``weight_choices`` for ``churn``).
+    """
+
+    kind: str
+    target: str
+    start: float
+    end: Optional[float] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Stable one-line rendering used in validation errors."""
+        end = "∞" if self.end is None else f"{self.end:g}"
+        return f"{self.kind}@{self.target}[{self.start:g}, {end})"
+
+
+class FaultPlan:
+    """An ordered list of :class:`PlannedFault`, validated as a whole."""
+
+    def __init__(self, faults: Sequence[PlannedFault]) -> None:
+        self.faults: Tuple[PlannedFault, ...] = tuple(faults)
+
+    def validate(self, scenario: Scenario) -> None:
+        """Check the plan against *scenario*; raise :class:`FaultError`.
+
+        Rules:
+
+        * every ``kind`` must be one of :data:`PLAN_KINDS`;
+        * interface-targeting kinds must name a scenario interface
+          (``churn`` must use target ``"*"``);
+        * ``start`` must be ≥ 0 and ``end`` (when given) > ``start`` —
+          no negative durations or inverted windows;
+        * declarations must be in non-decreasing ``start`` order, so a
+          plan reads like the timeline it produces;
+        * two same-kind windows on the same target must not overlap
+          (two flappers fighting over one interface, or two collapses
+          racing one ramp, are configuration bugs, not chaos).
+        """
+        known = set(scenario.interface_ids())
+        previous_start: Optional[float] = None
+        windows: dict = {}
+        for fault in self.faults:
+            where = fault.describe()
+            if fault.kind not in PLAN_KINDS:
+                raise FaultError(
+                    f"{where}: unknown fault kind {fault.kind!r}; "
+                    f"expected one of {PLAN_KINDS}"
+                )
+            if fault.kind in _INTERFACE_KINDS:
+                if fault.target not in known:
+                    raise FaultError(
+                        f"{where}: unknown interface {fault.target!r}; "
+                        f"scenario has {sorted(known)}"
+                    )
+            elif fault.target != "*":
+                raise FaultError(
+                    f"{where}: churn targets the whole engine; use target '*'"
+                )
+            if fault.start < 0:
+                raise FaultError(f"{where}: start must be ≥ 0")
+            if fault.end is not None and fault.end <= fault.start:
+                raise FaultError(
+                    f"{where}: window has non-positive duration "
+                    f"(end {fault.end:g} ≤ start {fault.start:g})"
+                )
+            if previous_start is not None and fault.start < previous_start:
+                raise FaultError(
+                    f"{where}: declared out of order (previous window "
+                    f"starts at {previous_start:g})"
+                )
+            previous_start = fault.start
+            key = (fault.kind, fault.target)
+            for other in windows.get(key, []):
+                other_end = float("inf") if other.end is None else other.end
+                this_end = float("inf") if fault.end is None else fault.end
+                if fault.start < other_end and other.start < this_end:
+                    raise FaultError(
+                        f"{where}: overlaps {other.describe()} on the "
+                        "same target"
+                    )
+            windows.setdefault(key, []).append(fault)
+
+    # ------------------------------------------------------------------
+    # Materialization (recovery extras builder)
+    # ------------------------------------------------------------------
+    def apply(self, run) -> None:
+        """Attach every planned fault to a recoverable run.
+
+        Pass ``plan.apply`` as the ``extras`` argument of
+        :class:`~repro.recovery.runner.RecoverableScenarioRun` (and of
+        ``restore``) — each fault process gets its own RNG stream and
+        a stable attachment name, so the rebuilt process is identical.
+        Call :meth:`validate` first; apply assumes a valid plan.
+        """
+        timeline = FaultTimeline()
+        run.attach("fault:timeline", timeline)
+        for index, fault in enumerate(self.faults):
+            name = f"fault:{index}:{fault.kind}:{fault.target}"
+            params = dict(fault.params)
+            if fault.kind == "flap":
+                component = GilbertElliottFlapper(
+                    run.sim,
+                    run.engine.interfaces[fault.target],
+                    run.streams.stream(f"plan:{index}:flap:{fault.target}"),
+                    mean_up=params.get("mean_up", 5.0),
+                    mean_down=params.get("mean_down", 1.0),
+                    start_time=fault.start,
+                    until=fault.end,
+                    timeline=timeline,
+                )
+            elif fault.kind == "collapse":
+                end = (
+                    fault.end
+                    if fault.end is not None
+                    else run.scenario.duration
+                )
+                component = CapacityCollapse(
+                    run.sim,
+                    run.engine.interfaces[fault.target],
+                    at=fault.start,
+                    recover_at=end,
+                    collapse_factor=params.get("collapse_factor", 0.1),
+                    ramp_steps=int(params.get("ramp_steps", 4)),
+                    ramp_duration=params.get("ramp_duration", 2.0),
+                    timeline=timeline,
+                )
+            elif fault.kind == "loss":
+                component = PacketLossInjector(
+                    run.sim,
+                    run.engine.interfaces[fault.target],
+                    run.streams.stream(f"plan:{index}:loss:{fault.target}"),
+                    loss_probability=params.get("probability", 0.05),
+                    timeline=timeline,
+                )
+            else:  # churn — validate() rejected anything else
+                component = PreferenceChurner(
+                    run.sim,
+                    run.engine,
+                    run.streams.stream(f"plan:{index}:churn"),
+                    period=params.get("period", 5.0),
+                    weight_choices=tuple(
+                        params.get("weight_choices", (1.0, 2.0, 4.0))
+                    ),
+                    start_time=fault.start,
+                    until=fault.end,
+                    timeline=timeline,
+                )
+            run.attach(name, component)

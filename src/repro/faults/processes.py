@@ -64,6 +64,14 @@ class GilbertElliottFlapper:
         first = max(start_time, sim.now) + rng.expovariate(1.0 / mean_up)
         sim.schedule(first, self._go_down)
 
+    def snapshot_state(self) -> dict:
+        """Mutable process state (pending transitions live on the heap)."""
+        return {"transitions": self.transitions}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.transitions = state["transitions"]
+
     def _expired(self) -> bool:
         return self._until is not None and self._sim.now >= self._until
 
@@ -127,6 +135,14 @@ class CapacityCollapse:
         self._original: Optional[float] = None
         sim.schedule(at, self._collapse)
 
+    def snapshot_state(self) -> dict:
+        """Mutable process state (ramp events live on the heap)."""
+        return {"original": self._original}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self._original = state["original"]
+
     def _record(self, rate_bps: float) -> None:
         if self._timeline is not None:
             self._timeline.record(
@@ -183,6 +199,14 @@ class PacketLossInjector:
         self.packets_lost = 0
         interface.add_egress_filter(self._filter)
 
+    def snapshot_state(self) -> dict:
+        """Mutable process state (RNG state lives with the streams)."""
+        return {"packets_lost": self.packets_lost}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.packets_lost = state["packets_lost"]
+
     def _filter(self, interface: Interface, packet: Packet) -> bool:
         if self._rng.random() >= self._probability:
             return True
@@ -227,6 +251,14 @@ class PacketCorruptionInjector:
         self._timeline = timeline
         self.packets_corrupted = 0
         interface.add_egress_filter(self._filter)
+
+    def snapshot_state(self) -> dict:
+        """Mutable process state (RNG state lives with the streams)."""
+        return {"packets_corrupted": self.packets_corrupted}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.packets_corrupted = state["packets_corrupted"]
 
     def _filter(self, interface: Interface, packet: Packet) -> bool:
         if packet.wire_bytes is None:
@@ -294,6 +326,18 @@ class ChecksumVerifier:
         self.corruptions_detected = 0
         interface.add_egress_filter(self._filter)
 
+    def snapshot_state(self) -> dict:
+        """Mutable process state."""
+        return {
+            "packets_verified": self.packets_verified,
+            "corruptions_detected": self.corruptions_detected,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.packets_verified = state["packets_verified"]
+        self.corruptions_detected = state["corruptions_detected"]
+
     def _filter(self, interface: Interface, packet: Packet) -> bool:
         if packet.wire_bytes is None:
             return True
@@ -350,6 +394,14 @@ class PreferenceChurner:
         self._timeline = timeline
         self.churn_events = 0
         sim.schedule(max(start_time, sim.now) + period, self._churn)
+
+    def snapshot_state(self) -> dict:
+        """Mutable process state (RNG state lives with the streams)."""
+        return {"churn_events": self.churn_events}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.churn_events = state["churn_events"]
 
     def _churn(self) -> None:
         if self._until is not None and self._sim.now >= self._until:

@@ -70,3 +70,22 @@ class FaultTimeline:
             digest.update(line.encode("utf-8"))
             digest.update(b"\n")
         return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every recorded event as a JSON-safe list."""
+        return {
+            "events": [
+                [event.time, event.kind, event.target, event.detail]
+                for event in self._events
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace the record with :meth:`snapshot_state` contents."""
+        self._events = [
+            FaultEvent(time=time, kind=kind, target=target, detail=detail)
+            for time, kind, target, detail in state["events"]
+        ]

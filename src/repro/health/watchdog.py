@@ -23,7 +23,7 @@ the mode the deterministic-replay tests use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.engine import SchedulingEngine
 from ..errors import WatchdogError
@@ -62,6 +62,24 @@ class _InterfaceSample:
     last_progress: float = 0.0
 
 
+@dataclass
+class _AlertSeries:
+    """Escalation state for one repeating (kind, subject) alert.
+
+    A persistent pathology emits one alert immediately, then again
+    after ``gap`` seconds, with the gap doubling on every emission up
+    to a cap — a flood of identical alerts becomes a short escalating
+    series. Repeats arriving inside the gap are counted, and the next
+    emitted alert reports how many were suppressed. The series resets
+    the moment the subject makes progress.
+    """
+
+    next_emit_at: float
+    gap: float
+    emitted: int = 0
+    suppressed: int = 0
+
+
 class Watchdog:
     """Samples an engine periodically and raises structured alerts."""
 
@@ -74,11 +92,14 @@ class Watchdog:
         stall_timeout: float = 2.0,
         invariant_checker: Optional[MiDrrInvariantChecker] = None,
         strict: bool = False,
+        max_alert_gap: float = 60.0,
     ) -> None:
         if period <= 0:
             raise WatchdogError(f"period must be positive, got {period}")
         if starvation_timeout <= 0 or stall_timeout <= 0:
             raise WatchdogError("timeouts must be positive")
+        if max_alert_gap <= 0:
+            raise WatchdogError(f"max_alert_gap must be positive, got {max_alert_gap}")
         self._sim = sim
         self._engine = engine
         self._period = period
@@ -86,11 +107,14 @@ class Watchdog:
         self._stall_timeout = stall_timeout
         self._checker = invariant_checker
         self._strict = strict
+        self._max_alert_gap = max_alert_gap
         self._process = PeriodicProcess(sim, period, self._tick)
         self._flow_samples: Dict[str, _FlowSample] = {}
         self._interface_samples: Dict[str, _InterfaceSample] = {}
+        self._series: Dict[Tuple[str, str], _AlertSeries] = {}
         self._listeners: List[Callable[[Alert], None]] = []
         self.alerts: List[Alert] = []
+        self.alerts_suppressed = 0
         self.ticks = 0
 
     # ------------------------------------------------------------------
@@ -128,6 +152,95 @@ class Watchdog:
         if self._strict:
             raise WatchdogError(str(alert))
 
+    def _raise_deduplicated(
+        self, kind: str, subject: str, detail: str, base_gap: float, now: float
+    ) -> None:
+        """Emit one alert of an escalating series, or count it suppressed.
+
+        The first occurrence emits immediately; subsequent occurrences
+        for the same ``(kind, subject)`` emit only when the series'
+        gap has elapsed, with the gap doubling per emission up to
+        ``max_alert_gap``. Suppressed repeats are counted and reported
+        in the next emitted alert's detail.
+        """
+        series = self._series.get((kind, subject))
+        if series is None:
+            series = _AlertSeries(next_emit_at=now, gap=base_gap)
+            self._series[(kind, subject)] = series
+        if now < series.next_emit_at:
+            series.suppressed += 1
+            self.alerts_suppressed += 1
+            return
+        if series.suppressed:
+            detail += f" ({series.suppressed} repeats suppressed)"
+        series.emitted += 1
+        series.suppressed = 0
+        series.next_emit_at = now + series.gap
+        series.gap = min(self._max_alert_gap, series.gap * 2.0)
+        self._raise(kind, subject, detail)
+
+    def _clear_series(self, kind: str, subject: str) -> None:
+        """Forget escalation state once the subject made progress."""
+        self._series.pop((kind, subject), None)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Samples, escalation series and alert history, JSON-safe.
+
+        The pending tick event itself is restored by the event-queue
+        codec (which re-arms the periodic process).
+        """
+        return {
+            "ticks": self.ticks,
+            "alerts_suppressed": self.alerts_suppressed,
+            "alerts": [
+                [alert.time, alert.kind, alert.subject, alert.detail]
+                for alert in self.alerts
+            ],
+            "flow_samples": {
+                flow_id: [sample.bytes_sent, sample.last_progress]
+                for flow_id, sample in self._flow_samples.items()
+            },
+            "interface_samples": {
+                interface_id: [sample.bytes_sent, sample.last_progress]
+                for interface_id, sample in self._interface_samples.items()
+            },
+            "series": [
+                [kind, subject, series.next_emit_at, series.gap,
+                 series.emitted, series.suppressed]
+                for (kind, subject), series in self._series.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.ticks = state["ticks"]
+        self.alerts_suppressed = state["alerts_suppressed"]
+        self.alerts = [
+            Alert(time=time, kind=kind, subject=subject, detail=detail)
+            for time, kind, subject, detail in state["alerts"]
+        ]
+        self._flow_samples = {
+            flow_id: _FlowSample(bytes_sent=sent, last_progress=progress)
+            for flow_id, (sent, progress) in state["flow_samples"].items()
+        }
+        self._interface_samples = {
+            interface_id: _InterfaceSample(bytes_sent=sent, last_progress=progress)
+            for interface_id, (sent, progress) in state["interface_samples"].items()
+        }
+        self._series = {
+            (kind, subject): _AlertSeries(
+                next_emit_at=next_emit_at,
+                gap=gap,
+                emitted=emitted,
+                suppressed=suppressed,
+            )
+            for kind, subject, next_emit_at, gap, emitted, suppressed
+            in state["series"]
+        }
+
     def _tick(self, now: float) -> None:
         self.ticks += 1
         self._check_flows(now)
@@ -149,10 +262,12 @@ class Watchdog:
             if sent != sample.bytes_sent or not flow.backlogged:
                 sample.bytes_sent = sent
                 sample.last_progress = now
+                self._clear_series(ALERT_FLOW_STARVATION, flow_id)
                 continue
             if flow_id in quarantined:
                 # Cannot be served by design; the degradation layer owns it.
                 sample.last_progress = now
+                self._clear_series(ALERT_FLOW_STARVATION, flow_id)
                 continue
             willing_up = any(
                 interface.up
@@ -161,16 +276,21 @@ class Watchdog:
             )
             if not willing_up:
                 sample.last_progress = now
+                self._clear_series(ALERT_FLOW_STARVATION, flow_id)
                 continue
             starved_for = now - sample.last_progress
             if starved_for >= self._starvation_timeout:
-                self._raise(
+                # last_progress is NOT reset: the starvation clock keeps
+                # running so each emitted alert reports the true outage
+                # length, while the escalating series caps the volume.
+                self._raise_deduplicated(
                     ALERT_FLOW_STARVATION,
                     flow_id,
                     f"backlogged with willing up interfaces, no service "
                     f"for {starved_for:.3f}s",
+                    base_gap=self._starvation_timeout,
+                    now=now,
                 )
-                sample.last_progress = now  # rate-limit repeat alerts
 
     def _check_interfaces(self, now: float) -> None:
         engine = self._engine
@@ -184,9 +304,11 @@ class Watchdog:
             if interface.bytes_sent != sample.bytes_sent or interface.busy:
                 sample.bytes_sent = interface.bytes_sent
                 sample.last_progress = now
+                self._clear_series(ALERT_INTERFACE_STALL, interface_id)
                 continue
             if not interface.up:
                 sample.last_progress = now
+                self._clear_series(ALERT_INTERFACE_STALL, interface_id)
                 continue
             offered = any(
                 flow.backlogged and flow.willing_to_use(interface_id)
@@ -195,13 +317,15 @@ class Watchdog:
             )
             if not offered:
                 sample.last_progress = now
+                self._clear_series(ALERT_INTERFACE_STALL, interface_id)
                 continue
             stalled_for = now - sample.last_progress
             if stalled_for >= self._stall_timeout:
-                self._raise(
+                self._raise_deduplicated(
                     ALERT_INTERFACE_STALL,
                     interface_id,
                     f"up and idle with offered backlog, no transmission "
                     f"for {stalled_for:.3f}s",
+                    base_gap=self._stall_timeout,
+                    now=now,
                 )
-                sample.last_progress = now

@@ -12,6 +12,16 @@ interface the response body comes back over, which is how it schedules
 
 Responses are spliced back together and verified before the application
 callback fires.
+
+Drain/restart (``docs/fault_model.md``): :meth:`SchedulingHttpProxy.drain`
+stops the scheduling pump — no new chunk requests are issued — while
+responses already in flight land normally, so no body is ever
+truncated. Once :attr:`SchedulingHttpProxy.drained` reports every
+channel idle, :meth:`SchedulingHttpProxy.checkpoint_state` captures the
+scheduler's deficits, every flow's queued chunks and every active
+fetch's spliced bytes; :meth:`SchedulingHttpProxy.restore_state`
+rebuilds all of it into a freshly constructed proxy, which resumes
+exactly where the drained one stopped.
 """
 
 from __future__ import annotations
@@ -19,9 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..errors import ConfigurationError, HttpError
+from ..errors import CheckpointError, ConfigurationError, HttpError
 from ..net.flow import Flow
-from ..net.packet import Packet
+from ..net.packet import Packet, packet_seq_state, restore_packet_seq
 from ..net.sink import StatsCollector
 from ..schedulers.base import MultiInterfaceScheduler
 from ..schedulers.midrr import MiDrrScheduler
@@ -88,6 +98,7 @@ class SchedulingHttpProxy:
         self._fetches: Dict[str, HttpFetch] = {}
         self.stats = StatsCollector(sim)
         self.fetches_completed = 0
+        self._draining = False
 
     @property
     def scheduler(self) -> MultiInterfaceScheduler:
@@ -137,6 +148,8 @@ class SchedulingHttpProxy:
         (it is consulted once for the object size — the proxy's
         equivalent of an initial HEAD).
         """
+        if self._draining:
+            raise HttpError("proxy is draining; not accepting new fetches")
         flow = self._flows.get(flow_id)
         if flow is None:
             raise ConfigurationError(f"unknown flow {flow_id!r}; call add_flow first")
@@ -188,6 +201,8 @@ class SchedulingHttpProxy:
 
     def _pump(self, channel: DownlinkChannel) -> None:
         """Fill *channel*'s pipeline with scheduler-chosen requests."""
+        if self._draining:
+            return  # in-flight responses still land; nothing new goes out
         while channel.has_slot:
             packet = self._scheduler.select(channel.channel_id)
             if packet is None:
@@ -259,6 +274,131 @@ class SchedulingHttpProxy:
             for packet in flow.queue.clear():
                 fetch.pending_ranges.pop(packet.seqno, None)
         return True
+
+    # ------------------------------------------------------------------
+    # Drain / restart
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """``True`` once :meth:`drain` has been called."""
+        return self._draining
+
+    @property
+    def drained(self) -> bool:
+        """Draining and every channel's pipeline is empty.
+
+        In-flight responses finish normally after :meth:`drain`; once
+        this reports ``True`` no response body can be truncated by a
+        restart.
+        """
+        return self._draining and all(
+            channel.outstanding == 0 for channel in self._channels.values()
+        )
+
+    def drain(self) -> None:
+        """Stop accepting fetches and stop issuing new chunk requests.
+
+        Responses already in flight land and are spliced as usual —
+        the pump simply never refills a freed slot. Poll
+        :attr:`drained` (or run the simulator until it turns true),
+        then call :meth:`checkpoint_state`.
+        """
+        self._draining = True
+
+    def checkpoint_state(self) -> dict:
+        """Serialize resumable proxy state; requires :attr:`drained`.
+
+        Captures the scheduler snapshot, every flow's preferences and
+        queued chunk backlog, and each active fetch's chunk plan and
+        spliced bytes. Completed fetches are not carried — their
+        bodies were already delivered to the application.
+        """
+        if not self.drained:
+            raise CheckpointError(
+                "proxy must be drained before checkpointing "
+                "(call drain() and let in-flight responses land)"
+            )
+        return {
+            "chunk_bytes": self._chunk_bytes,
+            "packet_seq": packet_seq_state(),
+            "fetches_completed": self.fetches_completed,
+            "scheduler": self._scheduler.snapshot_state(),
+            "flows": {
+                flow_id: flow.snapshot_state()
+                for flow_id, flow in self._flows.items()
+            },
+            "fetches": {
+                flow_id: {
+                    "url": fetch.url,
+                    "total_bytes": fetch.total_bytes,
+                    "started_at": fetch.started_at,
+                    "pending_ranges": {
+                        str(seqno): [byte_range.start, byte_range.end]
+                        for seqno, byte_range in fetch.pending_ranges.items()
+                    },
+                    "splicer": fetch.splicer.snapshot_state(),
+                }
+                for flow_id, fetch in self._fetches.items()
+                if not fetch.complete
+            },
+        }
+
+    def restore_state(
+        self,
+        state: dict,
+        on_complete: Optional[FetchCallback] = None,
+    ) -> None:
+        """Resume from :meth:`checkpoint_state` into this fresh proxy.
+
+        The proxy must have its channels registered (the transport is
+        rebuilt on restart, not checkpointed) and **no flows yet** —
+        flows, their backlogs, the scheduler's deficits and every
+        active fetch are recreated from the snapshot. *on_complete*
+        rebinds the completion callback, which cannot be serialized.
+        Scheduling resumes on the next simulator event.
+        """
+        if self._flows:
+            raise CheckpointError(
+                "restore_state needs a fresh proxy with no flows registered"
+            )
+        if state["chunk_bytes"] != self._chunk_bytes:
+            raise CheckpointError(
+                f"snapshot used chunk_bytes={state['chunk_bytes']}, "
+                f"this proxy uses {self._chunk_bytes}"
+            )
+        try:
+            for flow_id, flow_state in state["flows"].items():
+                self.add_flow(
+                    flow_id,
+                    weight=flow_state["weight"],
+                    interfaces=flow_state["allowed"],
+                )
+                # Queue contents restore directly — arrival listeners
+                # must not fire for chunks that already arrived once.
+                self._flows[flow_id].restore_state(flow_state)
+            self._scheduler.restore_state(state["scheduler"], self._flows)
+            for flow_id, fetch_state in state["fetches"].items():
+                splicer = Splicer(fetch_state["total_bytes"])
+                splicer.restore_state(fetch_state["splicer"])
+                fetch = HttpFetch(
+                    flow_id=flow_id,
+                    url=fetch_state["url"],
+                    total_bytes=fetch_state["total_bytes"],
+                    splicer=splicer,
+                    on_complete=on_complete,
+                    started_at=fetch_state["started_at"],
+                )
+                fetch.pending_ranges = {
+                    int(seqno): ByteRange(start, end)
+                    for seqno, (start, end) in fetch_state["pending_ranges"].items()
+                }
+                self._fetches[flow_id] = fetch
+            restore_packet_seq(state["packet_seq"])
+            self.fetches_completed = state["fetches_completed"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed proxy snapshot: {exc}") from exc
+        self._draining = False
+        self._sim.call_now(self._pump_all)
 
     # ------------------------------------------------------------------
     # Introspection

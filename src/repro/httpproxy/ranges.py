@@ -101,6 +101,31 @@ class Splicer:
             raise HttpError(f"assembled {offset} bytes, expected {self.total_bytes}")
         return b"".join(parts)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Received chunks as a JSON-safe dict (bodies hex-encoded)."""
+        return {
+            "total_bytes": self.total_bytes,
+            "chunks": {
+                str(offset): body.hex() for offset, body in self._chunks.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents from :meth:`snapshot_state` output."""
+        if state["total_bytes"] != self.total_bytes:
+            raise HttpError(
+                f"snapshot is for a {state['total_bytes']}-byte object, "
+                f"this splicer holds {self.total_bytes}"
+            )
+        self._chunks = {
+            int(offset): bytes.fromhex(body)
+            for offset, body in state["chunks"].items()
+        }
+        self._received = sum(len(body) for body in self._chunks.values())
+
     def missing_prefix_length(self) -> int:
         """Length of the contiguous prefix received (streamable bytes)."""
         offset = 0

@@ -15,12 +15,17 @@ up (``bring_down`` / ``bring_up``), and an optional ``read_timeout``
 arms a deadline per issued request. A request whose response has not
 landed by its deadline is abandoned and reissued with capped
 exponential backoff (``min(backoff_cap, backoff_base · 2^attempt)``)
-up to ``max_retries`` times before being reported failed. The default
-``read_timeout=None`` keeps the legacy wait-forever behaviour.
+up to ``max_retries`` times before being reported failed. When a
+seeded ``rng`` is supplied the backoff is multiplied by a jitter
+factor in ``[0.5, 1.0)`` drawn from that stream — never from the
+module-level ``random`` — so retry timing stays reproducible under a
+fixed scenario seed. The default ``read_timeout=None`` keeps the
+legacy wait-forever behaviour.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Sequence
@@ -68,6 +73,7 @@ class DownlinkChannel:
         max_retries: int = 2,
         backoff_base: float = 0.1,
         backoff_cap: float = 2.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if rate_bps <= 0:
             raise ConfigurationError(f"rate must be positive, got {rate_bps}")
@@ -100,6 +106,7 @@ class DownlinkChannel:
         self._max_retries = max_retries
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
+        self._rng = rng
         self._transfers: Deque[_PendingTransfer] = deque()
         self._transferring = False
         self._start_event: Optional[Event] = None
@@ -277,6 +284,10 @@ class DownlinkChannel:
             backoff = min(
                 self._backoff_cap, self._backoff_base * 2**transfer.attempts
             )
+            if self._rng is not None:
+                # Jitter drawn from the run's seeded stream, never from
+                # the module-level random — retries stay reproducible.
+                backoff *= 0.5 + 0.5 * self._rng.random()
             self._sim.call_later(
                 backoff,
                 self._enqueue_retry,

@@ -155,6 +155,44 @@ class Flow:
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Mutable flow state (preferences, accounting, backlog)."""
+        return {
+            "flow_id": self.flow_id,
+            "weight": self.weight,
+            "allowed": (
+                sorted(self._allowed) if self._allowed is not None else None
+            ),
+            "prefs_version": self.prefs_version,
+            "bytes_sent": self.bytes_sent,
+            "packets_sent": self.packets_sent,
+            "completed_at": self.completed_at,
+            "queue": self.queue.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`.
+
+        Restores *into* this existing object so every listener wired at
+        build time (engine kicks, source refills, stats) stays attached.
+        """
+        if state["flow_id"] != self.flow_id:
+            raise ConfigurationError(
+                f"snapshot is for flow {state['flow_id']!r}, not {self.flow_id!r}"
+            )
+        self.weight = state["weight"]
+        self._allowed = (
+            frozenset(state["allowed"]) if state["allowed"] is not None else None
+        )
+        self.prefs_version = state["prefs_version"]
+        self.bytes_sent = state["bytes_sent"]
+        self.packets_sent = state["packets_sent"]
+        self.completed_at = state["completed_at"]
+        self.queue.restore_state(state["queue"])
+
     def __repr__(self) -> str:
         allowed = "any" if self._allowed is None else "{" + ",".join(sorted(self._allowed)) + "}"
         return (

@@ -287,6 +287,54 @@ class Interface:
         # must not restart transmission.)
         self.kick()
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Mutable interface state as a JSON-safe dict.
+
+        ``_pulling`` is a within-event re-entrance guard and is always
+        ``False`` at event boundaries, so it is not recorded. A ``busy``
+        interface has a pending ``_complete`` event, restored by the
+        event-queue codec.
+        """
+        return {
+            "interface_id": self.interface_id,
+            "rate_bps": self._rate_bps,
+            "busy": self._busy,
+            "up": self._up,
+            "down_since": self._down_since,
+            "bytes_sent": self.bytes_sent,
+            "packets_sent": self.packets_sent,
+            "packets_consumed": self.packets_consumed,
+            "busy_time": self.busy_time,
+            "down_count": self.down_count,
+            "down_time": self.down_time,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`.
+
+        Writes fields directly — no listeners fire: the restored run
+        re-creates pending events (including completions and kicks)
+        from the event-queue snapshot instead.
+        """
+        if state["interface_id"] != self.interface_id:
+            raise ConfigurationError(
+                f"snapshot is for interface {state['interface_id']!r}, "
+                f"not {self.interface_id!r}"
+            )
+        self._rate_bps = state["rate_bps"]
+        self._busy = state["busy"]
+        self._up = state["up"]
+        self._down_since = state["down_since"]
+        self.bytes_sent = state["bytes_sent"]
+        self.packets_sent = state["packets_sent"]
+        self.packets_consumed = state["packets_consumed"]
+        self.busy_time = state["busy_time"]
+        self.down_count = state["down_count"]
+        self.down_time = state["down_time"]
+
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time spent transmitting over *elapsed* seconds."""
         window = elapsed if elapsed is not None else self._sim.now

@@ -18,6 +18,23 @@ from .addresses import Ipv4Address
 _packet_counter = itertools.count()
 
 
+def packet_seq_state() -> int:
+    """The next seqno the global packet counter will hand out.
+
+    Read non-destructively (no counter draw), so taking a checkpoint
+    never perturbs packet numbering.
+    """
+    return _packet_counter.__reduce__()[1][0]
+
+
+def restore_packet_seq(next_seqno: int) -> None:
+    """Reset the global packet counter so the next packet gets
+    *next_seqno*. Used by checkpoint restore to keep packet numbering —
+    and everything keyed on it — identical across a crash."""
+    global _packet_counter
+    _packet_counter = itertools.count(next_seqno)
+
+
 @dataclass(frozen=True, order=True)
 class FiveTuple:
     """The classic flow identifier: addresses, ports, protocol."""
@@ -85,3 +102,49 @@ class Packet:
 
     def __repr__(self) -> str:  # compact for trace dumps
         return f"Packet({self.flow_id}#{self.seqno}, {self.size_bytes}B)"
+
+
+def encode_packet(packet: Packet) -> dict:
+    """Render *packet* as a JSON-safe dict (checkpoint codec)."""
+    five_tuple = None
+    if packet.five_tuple is not None:
+        ft = packet.five_tuple
+        five_tuple = [ft.src.value, ft.dst.value, ft.src_port, ft.dst_port, ft.protocol]
+    return {
+        "flow_id": packet.flow_id,
+        "size_bytes": packet.size_bytes,
+        "created_at": packet.created_at,
+        "seqno": packet.seqno,
+        "five_tuple": five_tuple,
+        "wire_bytes": (
+            packet.wire_bytes.hex() if packet.wire_bytes is not None else None
+        ),
+    }
+
+
+def decode_packet(doc: dict) -> Packet:
+    """Rebuild a packet from :func:`encode_packet` output.
+
+    The explicit ``seqno`` bypasses the global counter, so decoding
+    never burns fresh sequence numbers.
+    """
+    five_tuple = None
+    if doc["five_tuple"] is not None:
+        src, dst, src_port, dst_port, protocol = doc["five_tuple"]
+        five_tuple = FiveTuple(
+            src=Ipv4Address(src),
+            dst=Ipv4Address(dst),
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+        )
+    return Packet(
+        flow_id=doc["flow_id"],
+        size_bytes=doc["size_bytes"],
+        created_at=doc["created_at"],
+        seqno=doc["seqno"],
+        five_tuple=five_tuple,
+        wire_bytes=(
+            bytes.fromhex(doc["wire_bytes"]) if doc["wire_bytes"] is not None else None
+        ),
+    )

@@ -15,7 +15,7 @@ from collections import deque
 from typing import Callable, Deque, Iterator, List, Optional
 
 from ..errors import ConfigurationError
-from .packet import Packet
+from .packet import Packet, decode_packet, encode_packet
 
 #: Valid overflow policies for a bounded :class:`FlowQueue`.
 DROP_POLICIES = ("drop-tail", "drop-head")
@@ -181,3 +181,28 @@ class FlowQueue:
         self._packets.clear()
         self._backlog_bytes = 0
         return removed
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Queue contents and drop accounting as a JSON-safe dict."""
+        return {
+            "packets": [encode_packet(packet) for packet in self._packets],
+            "dropped_packets": self._dropped_packets,
+            "dropped_bytes": self._dropped_bytes,
+            "enqueued_packets": self._enqueued_packets,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents and accounting from :meth:`snapshot_state`.
+
+        Writes the internal deque directly — the drop listener and the
+        capacity policy are build-time wiring and must not re-fire while
+        reconstructing an already-admitted backlog.
+        """
+        self._packets = deque(decode_packet(doc) for doc in state["packets"])
+        self._backlog_bytes = sum(packet.size_bytes for packet in self._packets)
+        self._dropped_packets = state["dropped_packets"]
+        self._dropped_bytes = state["dropped_bytes"]
+        self._enqueued_packets = state["enqueued_packets"]

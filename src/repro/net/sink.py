@@ -143,14 +143,17 @@ class StatsCollector:
             size_bytes=size_bytes,
             delay=delay,
         )
+        self._ingest(sample)
+
+    def _ingest(self, sample: ServiceSample) -> None:
         self._samples.append(sample)
-        self._bytes_by_flow[flow_id] += size_bytes
-        self._bytes_by_interface[interface_id] += size_bytes
-        index = self._flow_index.get(flow_id)
+        self._bytes_by_flow[sample.flow_id] += sample.size_bytes
+        self._bytes_by_interface[sample.interface_id] += sample.size_bytes
+        index = self._flow_index.get(sample.flow_id)
         if index is None:
-            index = self._flow_index[flow_id] = _ServiceIndex()
+            index = self._flow_index[sample.flow_id] = _ServiceIndex()
         index.add(sample)
-        pair_key = (flow_id, interface_id)
+        pair_key = (sample.flow_id, sample.interface_id)
         pair = self._pair_index.get(pair_key)
         if pair is None:
             pair = self._pair_index[pair_key] = _ServiceIndex()
@@ -176,6 +179,45 @@ class StatsCollector:
     def drops_by_flow(self) -> Dict[str, int]:
         """Per-flow dropped-packet counts (flows with no drops absent)."""
         return dict(self._drops_by_flow)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Sample log and drop accounting as a JSON-safe dict.
+
+        Samples serialize as compact parallel records; the per-key
+        indexes are derived data, rebuilt on restore by replaying the
+        (time-ordered) log through the normal ingestion path.
+        """
+        return {
+            "samples": [
+                [s.time, s.flow_id, s.interface_id, s.size_bytes, s.delay]
+                for s in self._samples
+            ],
+            "drops_by_flow": dict(self._drops_by_flow),
+            "drop_bytes_by_flow": dict(self._drop_bytes_by_flow),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the collector from :meth:`snapshot_state` output."""
+        self._samples = []
+        self._flow_index = {}
+        self._pair_index = {}
+        self._bytes_by_flow = defaultdict(int)
+        self._bytes_by_interface = defaultdict(int)
+        self._drops_by_flow = defaultdict(int, state["drops_by_flow"])
+        self._drop_bytes_by_flow = defaultdict(int, state["drop_bytes_by_flow"])
+        for time, flow_id, interface_id, size_bytes, delay in state["samples"]:
+            self._ingest(
+                ServiceSample(
+                    time=time,
+                    flow_id=flow_id,
+                    interface_id=interface_id,
+                    size_bytes=size_bytes,
+                    delay=delay,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Aggregates

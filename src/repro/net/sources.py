@@ -73,6 +73,15 @@ class BulkSource:
         if self._started:
             self._top_up()
 
+    def snapshot_state(self) -> dict:
+        """Mutable source state (progress through the transfer)."""
+        return {"remaining": self._remaining, "started": self._started}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self._remaining = state["remaining"]
+        self._started = state["started"]
+
     def _top_up(self) -> None:
         while len(self._flow.queue) < self._target_depth and not self.exhausted:
             size = self._packet_size
@@ -114,6 +123,14 @@ class CbrSource:
         self.packets_offered = 0
         sim.schedule(max(start_time, sim.now), self._emit)
 
+    def snapshot_state(self) -> dict:
+        """Mutable source state."""
+        return {"packets_offered": self.packets_offered}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.packets_offered = state["packets_offered"]
+
     def _emit(self) -> None:
         if self._stop_time is not None and self._sim.now >= self._stop_time:
             return
@@ -151,6 +168,14 @@ class PoissonSource:
         self._stop_time = stop_time
         self.packets_offered = 0
         sim.schedule(max(start_time, sim.now) + rng.expovariate(rate_pps), self._emit)
+
+    def snapshot_state(self) -> dict:
+        """Mutable source state (RNG state lives with the streams)."""
+        return {"packets_offered": self.packets_offered}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.packets_offered = state["packets_offered"]
 
     def _emit(self) -> None:
         if self._stop_time is not None and self._sim.now >= self._stop_time:
@@ -201,6 +226,15 @@ class OnOffSource:
         self.packets_offered = 0
         sim.schedule(max(start_time, sim.now), self._start_burst)
 
+    def snapshot_state(self) -> dict:
+        """Mutable source state (RNG state lives with the streams)."""
+        return {"on_until": self._on_until, "packets_offered": self.packets_offered}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self._on_until = state["on_until"]
+        self.packets_offered = state["packets_offered"]
+
     def _stopped(self) -> bool:
         return self._stop_time is not None and self._sim.now >= self._stop_time
 
@@ -245,6 +279,14 @@ class TraceSource:
             if size <= 0:
                 raise ConfigurationError(f"trace packet size must be positive, got {size}")
             sim.schedule(when, self._emit, size)
+
+    def snapshot_state(self) -> dict:
+        """Mutable source state."""
+        return {"packets_offered": self.packets_offered}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from :meth:`snapshot_state`."""
+        self.packets_offered = state["packets_offered"]
 
     def _emit(self, size: int) -> None:
         self._flow.offer(

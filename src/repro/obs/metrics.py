@@ -442,3 +442,85 @@ class MetricsRegistry:
             name: (metric.kind, metric.help)
             for name, metric in sorted(self._metrics.items())
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Dict[str, object]]:
+        """Serialize every metric's internals so telemetry survives a
+        restart.
+
+        Callback-backed gauges are skipped: they read live component
+        state and recompute correctly the moment the restored run's
+        components are rebuilt.
+        """
+        state: Dict[str, Dict[str, object]] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                state[name] = {"kind": "counter", "value": metric._value}
+            elif isinstance(metric, Gauge):
+                if metric.callback_backed:
+                    continue
+                state[name] = {"kind": "gauge", "value": metric._value}
+            elif isinstance(metric, Histogram):
+                state[name] = {
+                    "kind": "histogram",
+                    "bounds": list(metric._bounds),
+                    "counts": list(metric._counts),
+                    "count": metric._count,
+                    "sum": metric._sum,
+                    "min": metric._min,
+                    "max": metric._max,
+                }
+            elif isinstance(metric, QuantileSketch):
+                state[name] = {
+                    "kind": "sketch",
+                    "growth": metric._growth,
+                    "buckets": {str(key): count for key, count in metric._buckets.items()},
+                    "zero": metric._zero,
+                    "count": metric._count,
+                    "sum": metric._sum,
+                    "min": metric._min,
+                    "max": metric._max,
+                }
+        return state
+
+    def restore_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Overwrite (creating where needed) metrics from a snapshot.
+
+        Metrics the snapshot knows but the current registry has not
+        re-registered yet are created from the recorded shape (bounds,
+        growth); help text is re-attached when instrumentation
+        re-registers them, since creation is idempotent.
+        """
+        for name, doc in state.items():
+            kind = doc["kind"]
+            if kind == "counter":
+                self.counter(name)._value = doc["value"]
+            elif kind == "gauge":
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self.gauge(name)
+                if not metric.callback_backed:
+                    metric._value = doc["value"]
+            elif kind == "histogram":
+                metric = self.histogram(name, doc["bounds"])
+                metric._counts = list(doc["counts"])
+                metric._count = doc["count"]
+                metric._sum = doc["sum"]
+                metric._min = doc["min"]
+                metric._max = doc["max"]
+            elif kind == "sketch":
+                metric = self.sketch(name, growth=doc["growth"])
+                metric._buckets = {
+                    int(key): count for key, count in doc["buckets"].items()
+                }
+                metric._zero = doc["zero"]
+                metric._count = doc["count"]
+                metric._sum = doc["sum"]
+                metric._min = doc["min"]
+                metric._max = doc["max"]
+            else:
+                raise ConfigurationError(
+                    f"metric snapshot {name!r} has unknown kind {kind!r}"
+                )

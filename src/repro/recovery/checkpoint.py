@@ -1,0 +1,110 @@
+"""Checkpoint envelope: schema version, checksum, save/load.
+
+A checkpoint file is a JSON document::
+
+    {
+        "schema_version": 1,
+        "checksum": "<sha256 hex of the canonical state rendering>",
+        "state": { ... }
+    }
+
+The checksum is computed over the *canonical* JSON form of the state —
+sorted keys, no whitespace — so it is stable regardless of how the
+envelope itself was pretty-printed, and stable across a round trip
+through ``json`` (tuples become lists, but both render identically).
+
+Compatibility rules
+-------------------
+* ``schema_version`` must match :data:`CHECKPOINT_SCHEMA_VERSION`
+  exactly; there is no cross-version migration. A mismatch raises
+  :class:`~repro.errors.CheckpointVersionError`.
+* Any structural damage — missing keys, non-dict state, unparseable
+  JSON, checksum mismatch — raises
+  :class:`~repro.errors.CheckpointCorruptError`. Restore never guesses
+  at partially valid state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from ..errors import CheckpointCorruptError, CheckpointVersionError
+
+#: Current checkpoint schema version. Bump on any incompatible change
+#: to the state layout (see ``docs/fault_model.md``).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def canonical_state_json(state: Dict[str, Any]) -> str:
+    """The canonical rendering the checksum is computed over."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def compute_checksum(state: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical state rendering."""
+    return hashlib.sha256(canonical_state_json(state).encode("utf-8")).hexdigest()
+
+
+def wrap_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a raw state dict in the versioned, checksummed envelope."""
+    return {
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "checksum": compute_checksum(state),
+        "state": state,
+    }
+
+
+def unwrap_state(document: Any) -> Dict[str, Any]:
+    """Validate an envelope and return the state dict inside it.
+
+    Raises :class:`CheckpointCorruptError` on structural damage or a
+    checksum mismatch and :class:`CheckpointVersionError` on schema
+    skew (checked first: a version mismatch is diagnosable even when
+    the state layout changed underneath the checksum).
+    """
+    if not isinstance(document, dict):
+        raise CheckpointCorruptError(
+            f"checkpoint must be a JSON object, got {type(document).__name__}"
+        )
+    missing = {"schema_version", "checksum", "state"} - set(document)
+    if missing:
+        raise CheckpointCorruptError(
+            f"checkpoint missing required keys: {sorted(missing)}"
+        )
+    version = document["schema_version"]
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointVersionError(
+            f"checkpoint schema version {version!r} is not supported "
+            f"(this build reads version {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    state = document["state"]
+    if not isinstance(state, dict):
+        raise CheckpointCorruptError(
+            f"checkpoint state must be an object, got {type(state).__name__}"
+        )
+    expected = compute_checksum(state)
+    if document["checksum"] != expected:
+        raise CheckpointCorruptError(
+            f"checkpoint checksum mismatch: recorded {document['checksum']!r}, "
+            f"computed {expected!r}"
+        )
+    return state
+
+
+def save_checkpoint(path: str, state: Dict[str, Any]) -> None:
+    """Write *state* to *path* inside the versioned envelope."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(wrap_state(state), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read, validate and unwrap the checkpoint at *path*."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+    return unwrap_state(document)

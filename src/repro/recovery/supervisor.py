@@ -1,0 +1,161 @@
+"""Supervised recovery: checkpointed segments, restarts, circuit breaker.
+
+:class:`RecoverySupervisor` drives a
+:class:`~repro.recovery.runner.RecoverableScenarioRun` the way an init
+system drives a crashy daemon: execute a bounded segment of events,
+take a checkpoint, repeat. When a :class:`~repro.faults.crashes.
+SimulatedCrash` escapes a segment the supervisor restores the last
+checkpoint, charges a capped exponential backoff, and tries again.
+
+Crash-loop protection: each crash increments a consecutive-failure
+count that only resets when a segment *completes with virtual-time
+progress* past the previous checkpoint. Once the count reaches
+``crash_loop_threshold`` the circuit breaker opens and
+:class:`~repro.errors.RecoveryError` is raised — a run that dies at the
+same point on every attempt must be surfaced, not retried forever.
+
+Backoff is *accounted*, not simulated: the restored run's clock is the
+checkpoint's clock (advancing it past pending events would corrupt
+causality), so the would-be wait is accumulated in the
+``recovery.backoff_seconds_total`` counter instead. All supervisor
+activity is observable through :mod:`repro.obs` counters:
+
+* ``recovery.checkpoints_total`` — snapshots taken;
+* ``recovery.crashes_total`` — simulated crashes caught;
+* ``recovery.restores_total`` — successful restore/replays;
+* ``recovery.backoff_seconds_total`` — total backoff charged;
+* ``recovery.breaker_trips_total`` — circuit-breaker openings;
+* ``recovery.consecutive_crashes`` (gauge) — current failure streak.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.scenario import Scenario
+from ..errors import ConfigurationError, RecoveryError
+from ..faults.crashes import CrashInjector, SimulatedCrash
+from ..obs.metrics import MetricsRegistry
+from .runner import RecoverableScenarioRun, SchedulerFactory
+
+
+class RecoverySupervisor:
+    """Run a scenario to completion across injected crashes."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        scheduler_factory: SchedulerFactory,
+        *,
+        injector: Optional[CrashInjector] = None,
+        extras: Optional[Callable[[RecoverableScenarioRun], None]] = None,
+        checkpoint_every_events: int = 500,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        crash_loop_threshold: int = 5,
+        min_progress: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if checkpoint_every_events <= 0:
+            raise ConfigurationError(
+                f"checkpoint_every_events must be positive, got {checkpoint_every_events}"
+            )
+        if crash_loop_threshold <= 0:
+            raise ConfigurationError(
+                f"crash_loop_threshold must be positive, got {crash_loop_threshold}"
+            )
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ConfigurationError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"base={backoff_base} cap={backoff_cap}"
+            )
+        self._scenario = scenario
+        self._factory = scheduler_factory
+        self._injector = injector
+        self._extras = extras
+        self._checkpoint_every = checkpoint_every_events
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._crash_loop_threshold = crash_loop_threshold
+        self._min_progress = min_progress
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._checkpoints = self.registry.counter(
+            "recovery.checkpoints_total", "checkpoints taken by the supervisor"
+        )
+        self._crashes = self.registry.counter(
+            "recovery.crashes_total", "simulated crashes caught"
+        )
+        self._restores = self.registry.counter(
+            "recovery.restores_total", "restore/replay cycles completed"
+        )
+        self._backoff_total = self.registry.counter(
+            "recovery.backoff_seconds_total", "total restart backoff charged"
+        )
+        self._breaker_trips = self.registry.counter(
+            "recovery.breaker_trips_total", "crash-loop circuit-breaker openings"
+        )
+        self._streak = self.registry.gauge(
+            "recovery.consecutive_crashes", "current consecutive-crash streak"
+        )
+        #: The most recent checkpoint state (JSON-safe dict), exposed so
+        #: callers can persist it with ``save_checkpoint``.
+        self.last_checkpoint: Optional[Dict[str, Any]] = None
+
+    def backoff_for(self, consecutive_crashes: int) -> float:
+        """The capped exponential delay for the *n*-th straight crash."""
+        exponent = max(0, consecutive_crashes - 1)
+        return min(self._backoff_cap, self._backoff_base * (2.0 ** exponent))
+
+    def _run_segment(self, run: RecoverableScenarioRun) -> None:
+        """Dispatch up to ``checkpoint_every_events`` events, probing
+        the crash injector after every one."""
+        steps = 0
+        while steps < self._checkpoint_every and not run.finished:
+            if not run.step():
+                break
+            steps += 1
+            if self._injector is not None:
+                self._injector.check(run.sim)
+
+    def run(self) -> RecoverableScenarioRun:
+        """Drive the scenario to its horizon, surviving crashes.
+
+        Returns the final (possibly restored-many-times) run object.
+        Raises :class:`RecoveryError` if the crash-loop breaker opens.
+        """
+        run = RecoverableScenarioRun(
+            self._scenario, self._factory, extras=self._extras
+        )
+        self.last_checkpoint = run.checkpoint()
+        self._checkpoints.inc()
+        banked_time = run.sim.now
+        consecutive = 0
+        while not run.finished:
+            try:
+                self._run_segment(run)
+            except SimulatedCrash:
+                self._crashes.inc()
+                consecutive += 1
+                self._streak.set(consecutive)
+                if consecutive >= self._crash_loop_threshold:
+                    self._breaker_trips.inc()
+                    raise RecoveryError(
+                        f"crash-loop breaker open: {consecutive} consecutive "
+                        f"crashes without progress past t={banked_time:.6f}"
+                    ) from None
+                self._backoff_total.inc(self.backoff_for(consecutive))
+                run = RecoverableScenarioRun.restore(
+                    self.last_checkpoint, self._factory, extras=self._extras
+                )
+                self._restores.inc()
+                continue
+            # Segment completed: bank progress and reset the streak only
+            # if virtual time actually advanced past the last bank.
+            if run.sim.now > banked_time + self._min_progress:
+                banked_time = run.sim.now
+                consecutive = 0
+                self._streak.set(0)
+            self.last_checkpoint = run.checkpoint()
+            self._checkpoints.inc()
+        run.run_to_completion()
+        return run

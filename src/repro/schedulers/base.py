@@ -20,7 +20,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import SchedulingError
+from ..errors import CheckpointError, SchedulingError
 from ..net.flow import Flow
 from ..net.packet import Packet
 
@@ -74,6 +74,56 @@ class SingleInterfaceScheduler(ABC):
 
     def _on_backlogged(self, flow: Flow) -> None:
         """Per-scheduler bookkeeping for an empty→backlogged transition."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Serialize this scheduler's mutable state to a JSON-safe dict.
+
+        The snapshot never holds object references — flows appear as
+        ids, to be resolved by :meth:`restore_state` against the flow
+        table of the run being restored into.
+        """
+        return {
+            "kind": type(self).__name__,
+            "flow_order": list(self._flows),
+            "state": self._snapshot_state(),
+        }
+
+    def restore_state(
+        self, snapshot: Dict[str, object], flows: Dict[str, Flow]
+    ) -> None:
+        """Overwrite this scheduler's mutable state from *snapshot*.
+
+        The scheduler must already be wired the way the snapshotted one
+        was at build time (flows added through :meth:`add_flow`, so any
+        listener registration has happened); this replaces membership
+        and per-flow bookkeeping wholesale.
+        """
+        kind = snapshot.get("kind")
+        if kind != type(self).__name__:
+            raise CheckpointError(
+                f"snapshot is for scheduler kind {kind!r}, "
+                f"not {type(self).__name__!r}"
+            )
+        self._flows = {}
+        for flow_id in snapshot["flow_order"]:
+            flow = flows.get(flow_id)
+            if flow is None:
+                raise CheckpointError(
+                    f"snapshot references unknown flow {flow_id!r}"
+                )
+            self._flows[flow_id] = flow
+        self._restore_state(snapshot["state"])
+
+    # Subclass hooks ----------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        """Per-scheduler mutable state as a JSON-safe dict."""
+        return {}
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        """Overwrite per-scheduler state from :meth:`_snapshot_state`."""
 
     # ------------------------------------------------------------------
     # The scheduling decision
@@ -206,6 +256,62 @@ class MultiInterfaceScheduler(ABC):
 
     def _on_backlogged(self, flow: Flow) -> None:
         """Per-scheduler bookkeeping for an empty→backlogged transition."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Serialize this scheduler's mutable state to a JSON-safe dict.
+
+        Flows are recorded by id and resolved at restore time; the
+        willing-interface cache is deliberately absent (it is a pure
+        cache, rebuilt lazily from ``prefs_version``/topology).
+        """
+        return {
+            "kind": type(self).__name__,
+            "interfaces": list(self._interface_ids),
+            "flow_order": list(self._flows),
+            "state": self._snapshot_state(),
+        }
+
+    def restore_state(
+        self, snapshot: Dict[str, object], flows: Dict[str, Flow]
+    ) -> None:
+        """Overwrite this scheduler's mutable state from *snapshot*.
+
+        The scheduler must already have the snapshot's interfaces
+        registered (in the same order) — restore rebuilds run state,
+        not topology.
+        """
+        kind = snapshot.get("kind")
+        if kind != type(self).__name__:
+            raise CheckpointError(
+                f"snapshot is for scheduler kind {kind!r}, "
+                f"not {type(self).__name__!r}"
+            )
+        if list(snapshot["interfaces"]) != self._interface_ids:
+            raise CheckpointError(
+                f"snapshot interfaces {snapshot['interfaces']!r} do not "
+                f"match registered interfaces {self._interface_ids!r}"
+            )
+        self._flows = {}
+        for flow_id in snapshot["flow_order"]:
+            flow = flows.get(flow_id)
+            if flow is None:
+                raise CheckpointError(
+                    f"snapshot references unknown flow {flow_id!r}"
+                )
+            self._flows[flow_id] = flow
+        self._willing_cache.clear()
+        self._restore_state(snapshot["state"])
+
+    # Subclass hooks ----------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        """Per-scheduler mutable state as a JSON-safe dict."""
+        return {}
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        """Overwrite per-scheduler state from :meth:`_snapshot_state`."""
 
     # ------------------------------------------------------------------
     # The scheduling decision

@@ -139,3 +139,26 @@ class DrrScheduler(SingleInterfaceScheduler):
 
     def _largest_quantum(self) -> float:
         return max((self.quantum(f) for f in self._flows.values()), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {
+            "quantum_base": self._quantum_base,
+            "active": list(self._active),
+            "deficit": dict(self._deficit),
+            "current": self._current,
+            "turns_taken": dict(self.turns_taken),
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        if state["quantum_base"] != self._quantum_base:
+            raise SchedulingError(
+                f"snapshot quantum_base {state['quantum_base']!r} does not "
+                f"match {self._quantum_base!r}"
+            )
+        self._active = OrderedDict((flow_id, None) for flow_id in state["active"])
+        self._deficit = dict(state["deficit"])
+        self._current = state["current"]
+        self.turns_taken = dict(state["turns_taken"])

@@ -8,7 +8,7 @@ unfair for mixed packet sizes — the motivation for DRR).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 from ..net.flow import Flow
 from ..net.packet import Packet
@@ -47,6 +47,15 @@ class FifoScheduler(SingleInterfaceScheduler):
                 return flow.pull()
         return None
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {"arrival_order": list(self._arrival_order)}
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        self._arrival_order = deque(state["arrival_order"])
+
 
 class RoundRobinScheduler(SingleInterfaceScheduler):
     """One packet per backlogged flow per round (Nagle fair queueing)."""
@@ -72,3 +81,12 @@ class RoundRobinScheduler(SingleInterfaceScheduler):
             if flow is not None and flow.backlogged:
                 return flow.pull()
         return None
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {"ring": list(self._ring)}
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        self._ring = deque(state["ring"])

@@ -413,6 +413,76 @@ class MiDrrScheduler(MultiInterfaceScheduler):
             state.current = None
             state.turn_open = False
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        # decision_flows_examined is deliberately absent: it is
+        # unbounded per-decision telemetry (Figure 9) and restarts
+        # empty after a restore.
+        return {
+            "config": {
+                "quantum_base": self._quantum_base,
+                "flag_on": self._flag_on,
+                "deficit_scope": self._deficit_scope,
+                "exclusion": self._exclusion,
+            },
+            "interfaces": {
+                interface_id: {
+                    "active": list(state.active),
+                    "current": state.current,
+                    "turn_open": state.turn_open,
+                }
+                for interface_id, state in self._states.items()
+            },
+            "service_flags": [
+                [flow_id, interface_id, value]
+                for (flow_id, interface_id), value in self._service_flags.items()
+            ],
+            "deficit": [
+                [key, None, value] if isinstance(key, str) else [key[0], key[1], value]
+                for key, value in self._deficit.items()
+            ],
+            "turns_taken": dict(self.turns_taken),
+            "flags_set_total": self.flags_set_total,
+            "flags_cleared_total": self.flags_cleared_total,
+            "pending_flags_count": self._pending_flags_count,
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        config = state["config"]
+        mine = {
+            "quantum_base": self._quantum_base,
+            "flag_on": self._flag_on,
+            "deficit_scope": self._deficit_scope,
+            "exclusion": self._exclusion,
+        }
+        if config != mine:
+            raise SchedulingError(
+                f"snapshot miDRR config {config!r} does not match {mine!r}"
+            )
+        self._states = {}
+        for interface_id, iface_state in state["interfaces"].items():
+            restored = _InterfaceState()
+            for flow_id in iface_state["active"]:
+                restored.active[flow_id] = None
+            restored.current = iface_state["current"]
+            restored.turn_open = bool(iface_state["turn_open"])
+            self._states[interface_id] = restored
+        self._service_flags = {
+            (flow_id, interface_id): value
+            for flow_id, interface_id, value in state["service_flags"]
+        }
+        self._deficit = {}
+        for flow_id, interface_id, value in state["deficit"]:
+            key = flow_id if interface_id is None else (flow_id, interface_id)
+            self._deficit[key] = value
+        self.decision_flows_examined = []
+        self.turns_taken = dict(state["turns_taken"])
+        self.flags_set_total = state["flags_set_total"]
+        self.flags_cleared_total = state["flags_cleared_total"]
+        self._pending_flags_count = state["pending_flags_count"]
+
     def _check_next(
         self, interface_id: str, state: _InterfaceState
     ) -> Tuple[Optional[str], int]:

@@ -88,6 +88,26 @@ class PerInterfaceScheduler(MultiInterfaceScheduler):
             raise SchedulingError(f"unknown interface {interface_id!r}")
         return inner.next_packet()
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {
+            "inner": {
+                interface_id: inner.snapshot_state()
+                for interface_id, inner in self._inner.items()
+            }
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        for interface_id, snapshot in state["inner"].items():
+            inner = self._inner.get(interface_id)
+            if inner is None:
+                raise SchedulingError(
+                    f"snapshot references unknown interface {interface_id!r}"
+                )
+            inner.restore_state(snapshot, self._flows)
+
 
 class StaticSplitScheduler(MultiInterfaceScheduler):
     """Pin each flow to one willing interface; DRR per interface.
@@ -136,3 +156,27 @@ class StaticSplitScheduler(MultiInterfaceScheduler):
         if inner is None:
             raise SchedulingError(f"unknown interface {interface_id!r}")
         return inner.next_packet()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {
+            "pinned_weight": dict(self._pinned_weight),
+            "assignment": dict(self._assignment),
+            "inner": {
+                interface_id: inner.snapshot_state()
+                for interface_id, inner in self._inner.items()
+            },
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        self._pinned_weight = dict(state["pinned_weight"])
+        self._assignment = dict(state["assignment"])
+        for interface_id, snapshot in state["inner"].items():
+            inner = self._inner.get(interface_id)
+            if inner is None:
+                raise SchedulingError(
+                    f"snapshot references unknown interface {interface_id!r}"
+                )
+            inner.restore_state(snapshot, self._flows)

@@ -89,3 +89,26 @@ class WfqScheduler(SingleInterfaceScheduler):
         self._last_finish[best_flow.flow_id] = best_tag
         self._head_tags.pop(best_flow.flow_id, None)
         return best_flow.pull()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> Dict[str, object]:
+        return {
+            "virtual_time": self._virtual_time,
+            "last_finish": dict(self._last_finish),
+            "head_tags": {
+                flow_id: [tag[0], tag[1]]
+                for flow_id, tag in self._head_tags.items()
+            },
+            "tie_rotation": self._tie_rotation,
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        self._virtual_time = state["virtual_time"]
+        self._last_finish = dict(state["last_finish"])
+        self._head_tags = {
+            flow_id: (tag[0], tag[1])
+            for flow_id, tag in state["head_tags"].items()
+        }
+        self._tie_rotation = state["tie_rotation"]

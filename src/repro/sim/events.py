@@ -206,3 +206,32 @@ class EventQueue:
         """Drop every pending event."""
         self._heap.clear()
         self._cancelled_count = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`push` will assign."""
+        return self._seq
+
+    def live_events(self) -> List[Event]:
+        """Pending non-cancelled events in firing order.
+
+        The checkpoint codec serializes exactly these; cancelled
+        entries are dead weight a restored run never needs.
+        """
+        return sorted(event for event in self._heap if not event.cancelled)
+
+    def restore(self, events: List[Event], next_seq: int) -> None:
+        """Replace the queue contents with pre-built events.
+
+        The events keep their original ``(time, priority, seq)``
+        triples and *next_seq* continues the original numbering, so
+        the restored heap fires — and breaks future ties — exactly
+        like the snapshotted one.
+        """
+        self._heap = list(events)
+        heapq.heapify(self._heap)
+        self._seq = next_seq
+        self._cancelled_count = 0

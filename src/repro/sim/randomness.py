@@ -47,3 +47,38 @@ class RandomStreams:
         """Re-seed every existing stream back to its initial state."""
         for name, rng in self._streams.items():
             rng.seed(derive_seed(self._root_seed, name))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every stream's Mersenne-Twister state as a JSON-safe dict.
+
+        ``random.Random.getstate()`` returns ``(version, tuple-of-ints,
+        gauss_next)``; the inner tuple becomes a list under JSON and is
+        converted back on restore.
+        """
+        streams = {}
+        for name, rng in self._streams.items():
+            version, internal, gauss_next = rng.getstate()
+            streams[name] = {
+                "version": version,
+                "internal": list(internal),
+                "gauss_next": gauss_next,
+            }
+        return {"root_seed": self._root_seed, "streams": streams}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore every stream recorded by :meth:`snapshot_state`.
+
+        Streams absent from the snapshot but already created here are
+        re-seeded to their initial state (they had never been drawn
+        from when the checkpoint was taken).
+        """
+        for name, packed in state["streams"].items():
+            self.stream(name).setstate(
+                (packed["version"], tuple(packed["internal"]), packed["gauss_next"])
+            )
+        for name, rng in self._streams.items():
+            if name not in state["streams"]:
+                rng.seed(derive_seed(self._root_seed, name))

@@ -54,6 +54,22 @@ class Simulator:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def queue(self) -> EventQueue:
+        """The underlying event queue (checkpoint codec access)."""
+        return self._queue
+
+    def restore_clock(self, now: float, events_processed: int) -> None:
+        """Set the clock and dispatch counter (checkpoint restore).
+
+        Only legal outside :meth:`run` — restoring mid-dispatch would
+        corrupt causality the same way scheduling into the past does.
+        """
+        if self._running:
+            raise SimulationError("cannot restore the clock while running")
+        self._now = now
+        self._events_processed = events_processed
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

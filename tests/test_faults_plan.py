@@ -1,0 +1,130 @@
+"""FaultPlan: up-front validation and recoverable materialization."""
+
+import pytest
+
+from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario
+from repro.errors import FaultError
+from repro.faults.plan import PLAN_KINDS, FaultPlan, PlannedFault
+from repro.units import mbps
+
+
+def scenario():
+    return Scenario(
+        name="plan-target",
+        interfaces=(InterfaceSpec("if1", mbps(2)), InterfaceSpec("if2", mbps(1))),
+        flows=(FlowSpec("a"), FlowSpec("b", interfaces=("if2",))),
+        duration=10.0,
+        seed=5,
+    )
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        plan = FaultPlan(
+            [
+                PlannedFault("churn", "*", 0.0, 8.0),
+                PlannedFault("flap", "if1", 1.0, 4.0),
+                PlannedFault("loss", "if2", 2.0, params={"probability": 0.1}),
+                PlannedFault("collapse", "if1", 5.0, 8.0),
+            ]
+        )
+        plan.validate(scenario())  # must not raise
+
+    def test_unknown_kind(self):
+        plan = FaultPlan([PlannedFault("meteor", "if1", 0.0)])
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            plan.validate(scenario())
+
+    def test_unknown_interface(self):
+        plan = FaultPlan([PlannedFault("flap", "if9", 0.0)])
+        with pytest.raises(FaultError, match="unknown interface 'if9'"):
+            plan.validate(scenario())
+
+    def test_churn_must_target_wildcard(self):
+        plan = FaultPlan([PlannedFault("churn", "if1", 0.0)])
+        with pytest.raises(FaultError, match="use target '\\*'"):
+            plan.validate(scenario())
+
+    def test_negative_start(self):
+        plan = FaultPlan([PlannedFault("loss", "if1", -1.0)])
+        with pytest.raises(FaultError, match="start must be"):
+            plan.validate(scenario())
+
+    def test_inverted_window(self):
+        plan = FaultPlan([PlannedFault("flap", "if1", 4.0, 2.0)])
+        with pytest.raises(FaultError, match="non-positive duration"):
+            plan.validate(scenario())
+
+    def test_zero_length_window(self):
+        plan = FaultPlan([PlannedFault("flap", "if1", 4.0, 4.0)])
+        with pytest.raises(FaultError, match="non-positive duration"):
+            plan.validate(scenario())
+
+    def test_out_of_order_declarations(self):
+        plan = FaultPlan(
+            [
+                PlannedFault("flap", "if1", 5.0, 7.0),
+                PlannedFault("loss", "if2", 1.0),
+            ]
+        )
+        with pytest.raises(FaultError, match="out of order"):
+            plan.validate(scenario())
+
+    def test_overlapping_same_kind_same_target(self):
+        plan = FaultPlan(
+            [
+                PlannedFault("flap", "if1", 1.0, 5.0),
+                PlannedFault("flap", "if1", 3.0, 8.0),
+            ]
+        )
+        with pytest.raises(FaultError, match="overlaps"):
+            plan.validate(scenario())
+
+    def test_open_ended_window_overlaps_everything_later(self):
+        plan = FaultPlan(
+            [
+                PlannedFault("loss", "if1", 1.0),  # runs to the horizon
+                PlannedFault("loss", "if1", 6.0, 8.0),
+            ]
+        )
+        with pytest.raises(FaultError, match="overlaps"):
+            plan.validate(scenario())
+
+    def test_same_kind_different_targets_may_overlap(self):
+        plan = FaultPlan(
+            [
+                PlannedFault("flap", "if1", 1.0, 5.0),
+                PlannedFault("flap", "if2", 2.0, 6.0),
+            ]
+        )
+        plan.validate(scenario())  # must not raise
+
+    def test_error_names_the_offending_entry(self):
+        plan = FaultPlan([PlannedFault("flap", "if9", 2.0, 3.0)])
+        with pytest.raises(FaultError, match=r"flap@if9\[2, 3\)"):
+            plan.validate(scenario())
+
+    def test_plan_kinds_are_stable(self):
+        assert PLAN_KINDS == ("flap", "collapse", "loss", "churn")
+
+
+class TestMaterialization:
+    def test_apply_attaches_components(self):
+        from repro.recovery import RecoverableScenarioRun
+        from repro.schedulers.midrr import MiDrrScheduler
+
+        plan = FaultPlan(
+            [
+                PlannedFault("flap", "if1", 0.5, 6.0),
+                PlannedFault("loss", "if2", 1.0, params={"probability": 0.05}),
+            ]
+        )
+        plan.validate(scenario())
+        run = RecoverableScenarioRun(scenario(), MiDrrScheduler, extras=plan.apply)
+        names = set(run._components)
+        assert "fault:timeline" in names
+        assert "fault:0:flap:if1" in names
+        assert "fault:1:loss:if2" in names
+        run.run_to_completion()
+        timeline = run._components["fault:timeline"]
+        assert len(timeline) > 0  # the flapper actually acted

@@ -136,6 +136,70 @@ class TestStarvationAndStall:
         # interface is never reported stalled.
         assert watchdog.alerts == []
 
+    def test_repeats_collapse_into_escalating_series(self, sim):
+        _, watchdog = self._starved_rig(sim)
+        sim.run(until=10.0)
+        alerts = watchdog.alerts_of(ALERT_FLOW_STARVATION)
+        # Escalating gaps: first at the timeout (~2 s), then the gap
+        # doubles — ~4 s, ~8 s. Three emissions in 10 s, not sixteen.
+        assert len(alerts) == 3
+        assert alerts[0].time == pytest.approx(2.0, abs=0.5)
+        assert alerts[1].time == pytest.approx(4.0, abs=0.5)
+        assert alerts[2].time == pytest.approx(8.0, abs=0.5)
+        # Ticks that fell inside a gap were counted, not lost.
+        assert watchdog.alerts_suppressed > 0
+        assert "repeats suppressed" in alerts[1].detail
+
+    def test_alert_reports_growing_outage_length(self, sim):
+        _, watchdog = self._starved_rig(sim)
+        sim.run(until=10.0)
+        alerts = watchdog.alerts_of(ALERT_FLOW_STARVATION)
+        outages = [
+            float(alert.detail.split("for ")[1].split("s")[0])
+            for alert in alerts
+        ]
+        # The starvation clock keeps running across emissions — each
+        # alert reports the true outage length, not the gap since the
+        # previous alert.
+        assert outages == sorted(outages)
+        assert outages[-1] > outages[0]
+
+    def test_gap_is_capped(self, sim):
+        _, watchdog = self._starved_rig(sim, max_alert_gap=2.0)
+        sim.run(until=10.0)
+        alerts = watchdog.alerts_of(ALERT_FLOW_STARVATION)
+        # Capped at 2 s the series never escalates past one alert per
+        # two seconds: emissions at ~2, 4, 6, 8.
+        assert len(alerts) == 4
+
+    def test_series_resets_on_progress(self, sim):
+        engine, watchdog = self._starved_rig(sim)
+        sim.run(until=5.0)
+        first_phase = len(watchdog.alerts_of(ALERT_FLOW_STARVATION))
+        assert first_phase >= 1
+        # Service resumes: re-register the flow, let it drain a while.
+        engine.scheduler.add_flow(engine.flows["a"])
+        sim.run(until=7.0)
+        # Then starve it again — the escalation series must restart
+        # from the base gap, emitting promptly rather than waiting out
+        # the previously escalated gap.
+        engine.scheduler.remove_flow("a")
+        sim.run(until=12.0)
+        assert len(watchdog.alerts_of(ALERT_FLOW_STARVATION)) > first_phase
+
+    def test_snapshot_restore_round_trip(self, sim):
+        import json
+
+        _, watchdog = self._starved_rig(sim)
+        sim.run(until=6.0)
+        state = json.loads(json.dumps(watchdog.snapshot_state()))
+        restored = Watchdog(sim, watchdog._engine)
+        restored.restore_state(state)
+        assert restored.ticks == watchdog.ticks
+        assert restored.alerts == watchdog.alerts
+        assert restored.alerts_suppressed == watchdog.alerts_suppressed
+        assert restored.snapshot_state() == watchdog.snapshot_state()
+
     def test_invariant_violations_become_alerts(self, sim):
         engine, scheduler, _ = build_rig(sim)
         checker = MiDrrInvariantChecker(scheduler, engine=engine)

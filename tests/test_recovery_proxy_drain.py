@@ -1,0 +1,204 @@
+"""Proxy drain/restart: zero truncation, restored deficits, seeded jitter."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import CheckpointError, HttpError
+from repro.httpproxy.http11 import Headers, HttpRequest
+from repro.httpproxy.proxy import SchedulingHttpProxy
+from repro.httpproxy.server import HttpOriginServer
+from repro.httpproxy.transport import DownlinkChannel
+from repro.sim.simulator import Simulator
+
+BIG = b"A" * (400 * 1024)
+SMALL = b"B" * (200 * 1024)
+
+
+def make_server():
+    server = HttpOriginServer()
+    server.put_object("/big", BIG)
+    server.put_object("/small", SMALL)
+    return server
+
+
+def build_proxy(sim, server):
+    proxy = SchedulingHttpProxy(sim, chunk_bytes=16 * 1024)
+    for channel_id, rate in (("wifi", 8e6), ("lte", 4e6)):
+        proxy.add_channel(
+            DownlinkChannel(sim, channel_id, server, rate, rtt=0.02, pipeline_depth=3)
+        )
+    return proxy
+
+
+def start_fetches(proxy, server, done):
+    proxy.add_flow("video", weight=2.0)
+    proxy.add_flow("dl", weight=1.0, interfaces=["lte"])
+    proxy.fetch("video", "/big", server, on_complete=lambda f: done.append(f.flow_id))
+    proxy.fetch("dl", "/small", server, on_complete=lambda f: done.append(f.flow_id))
+
+
+def drain_fully(sim, proxy):
+    proxy.drain()
+    while not proxy.drained:
+        if not sim.step():
+            break
+
+
+class TestDrain:
+    def test_drain_finishes_in_flight_responses(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        done = []
+        start_fetches(proxy, server, done)
+        sim.run(until=0.1)
+        outstanding_before = sum(
+            channel.outstanding for channel in proxy._channels.values()
+        )
+        assert outstanding_before > 0  # mid-transfer, pipelines busy
+        drain_fully(sim, proxy)
+        assert proxy.drained
+        # Every byte that was requested landed and was spliced; nothing
+        # was truncated by the stop.
+        for flow_id in ("video", "dl"):
+            fetch = proxy.fetch_for(flow_id)
+            assert not fetch.complete
+            assert fetch.splicer.bytes_received > 0
+
+    def test_draining_proxy_refuses_new_fetches(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        proxy.add_flow("late")
+        proxy.drain()
+        with pytest.raises(HttpError, match="draining"):
+            proxy.fetch("late", "/big", server)
+
+    def test_checkpoint_requires_drained(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        done = []
+        start_fetches(proxy, server, done)
+        sim.run(until=0.1)
+        with pytest.raises(CheckpointError, match="drained"):
+            proxy.checkpoint_state()
+
+
+class TestRestart:
+    def test_restore_resumes_with_zero_truncation(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        done = []
+        start_fetches(proxy, server, done)
+        sim.run(until=0.12)
+        drain_fully(sim, proxy)
+        assert done == []  # both transfers still in progress at drain
+        state = json.loads(json.dumps(proxy.checkpoint_state()))
+
+        relaunched = build_proxy(sim, server)  # "new process", same links
+        relaunched.restore_state(
+            state, on_complete=lambda f: done.append(f.flow_id)
+        )
+        sim.run(until=5.0)
+        assert sorted(done) == ["dl", "video"]
+        assert relaunched.fetch_for("video").body == BIG
+        assert relaunched.fetch_for("dl").body == SMALL
+        assert relaunched.fetches_completed == 2
+
+    def test_restore_preserves_scheduler_deficits(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        done = []
+        start_fetches(proxy, server, done)
+        sim.run(until=0.12)
+        drain_fully(sim, proxy)
+        state = json.loads(json.dumps(proxy.checkpoint_state()))
+
+        relaunched = build_proxy(sim, server)
+        relaunched.restore_state(state)
+        assert (
+            relaunched.scheduler.snapshot_state() == state["scheduler"]
+        )
+
+    def test_restore_requires_fresh_proxy(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        done = []
+        start_fetches(proxy, server, done)
+        drain_fully(sim, proxy)
+        state = proxy.checkpoint_state()
+        with pytest.raises(CheckpointError, match="fresh proxy"):
+            proxy.restore_state(state)
+
+    def test_restore_rejects_chunk_size_mismatch(self):
+        sim = Simulator()
+        server = make_server()
+        proxy = build_proxy(sim, server)
+        done = []
+        start_fetches(proxy, server, done)
+        drain_fully(sim, proxy)
+        state = proxy.checkpoint_state()
+        other = SchedulingHttpProxy(sim, chunk_bytes=8 * 1024)
+        with pytest.raises(CheckpointError, match="chunk_bytes"):
+            other.restore_state(state)
+
+
+class TestRetryJitter:
+    def ranged_get(self):
+        return HttpRequest(
+            method="GET", target="/big", headers=Headers({"Range": "bytes=0-999"})
+        )
+
+    def run_retry(self, rng):
+        sim = Simulator()
+        server = make_server()
+        channel = DownlinkChannel(
+            sim,
+            "if1",
+            server,
+            rate_bps=80_000,
+            rtt=0.0,
+            read_timeout=1.0,
+            max_retries=2,
+            backoff_base=0.4,
+            rng=rng,
+        )
+        channel.bring_down()
+        retried_at = []
+        original = channel._enqueue_retry
+
+        def spy(request, on_response, attempts):
+            retried_at.append(sim.now)
+            original(request, on_response, attempts)
+
+        channel._enqueue_retry = spy
+        channel.issue(self.ranged_get(), lambda ch, req, resp: None)
+        sim.run(until=5.0)
+        return retried_at
+
+    def test_no_rng_keeps_legacy_deterministic_backoff(self):
+        retried_at = self.run_retry(rng=None)
+        # Timeout at 1.0, retry after exactly backoff_base (attempt 0).
+        assert retried_at[0] == pytest.approx(1.4)
+
+    def test_seeded_rng_jitters_within_half_to_full_backoff(self):
+        retried_at = self.run_retry(rng=random.Random(123))
+        delay = retried_at[0] - 1.0
+        assert 0.2 <= delay < 0.4  # backoff_base scaled by [0.5, 1.0)
+
+    def test_same_seed_reproduces_retry_timing(self):
+        first = self.run_retry(rng=random.Random(7))
+        second = self.run_retry(rng=random.Random(7))
+        assert first == second
+
+    def test_jitter_never_touches_module_random(self):
+        random.seed(42)
+        before = random.getstate()
+        self.run_retry(rng=random.Random(7))
+        assert random.getstate() == before

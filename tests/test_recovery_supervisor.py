@@ -1,0 +1,180 @@
+"""Supervisor: backoff schedule, crash-loop breaker, obs counters."""
+
+import pytest
+
+from repro.core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
+from repro.errors import ConfigurationError, RecoveryError
+from repro.faults.crashes import CrashInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.recovery import RecoverableScenarioRun, RecoverySupervisor
+from repro.schedulers.midrr import MiDrrScheduler
+from repro.units import mbps
+
+
+def scenario():
+    return Scenario(
+        name="supervised",
+        interfaces=(InterfaceSpec("if1", mbps(2)), InterfaceSpec("if2", mbps(1))),
+        flows=(
+            FlowSpec("a"),
+            FlowSpec(
+                "b",
+                weight=2.0,
+                interfaces=("if1",),
+                traffic=TrafficSpec("poisson", rate_bps=mbps(0.7)),
+            ),
+        ),
+        duration=5.0,
+        seed=9,
+    )
+
+
+class TestRecovery:
+    def test_recovers_through_crashes(self):
+        reference = RecoverableScenarioRun(scenario(), MiDrrScheduler)
+        reference.run_to_completion()
+
+        injector = CrashInjector(at_events=[300, 900], at_times=[3.3])
+        supervisor = RecoverySupervisor(
+            scenario(),
+            MiDrrScheduler,
+            injector=injector,
+            checkpoint_every_events=200,
+        )
+        final = supervisor.run()
+        assert injector.crashes_fired == 3
+        for spec in scenario().flows:
+            assert final.engine.stats.bytes_sent(
+                spec.flow_id
+            ) == reference.engine.stats.bytes_sent(spec.flow_id)
+
+    def test_counters_report_recovery_activity(self):
+        registry = MetricsRegistry()
+        supervisor = RecoverySupervisor(
+            scenario(),
+            MiDrrScheduler,
+            injector=CrashInjector(at_events=[250]),
+            checkpoint_every_events=100,
+            backoff_base=0.5,
+            registry=registry,
+        )
+        supervisor.run()
+        assert registry.get("recovery.crashes_total").value == 1
+        assert registry.get("recovery.restores_total").value == 1
+        assert registry.get("recovery.checkpoints_total").value > 1
+        assert registry.get("recovery.backoff_seconds_total").value == 0.5
+        assert registry.get("recovery.consecutive_crashes").value == 0
+
+    def test_last_checkpoint_is_persistable(self, tmp_path):
+        from repro.recovery import load_checkpoint, save_checkpoint
+
+        supervisor = RecoverySupervisor(
+            scenario(), MiDrrScheduler, checkpoint_every_events=400
+        )
+        supervisor.run()
+        assert supervisor.last_checkpoint is not None
+        path = str(tmp_path / "last.json")
+        save_checkpoint(path, supervisor.last_checkpoint)
+        restored = RecoverableScenarioRun.restore(
+            load_checkpoint(path), MiDrrScheduler
+        )
+        restored.run_to_completion()
+        assert restored.sim.now == pytest.approx(scenario().duration, abs=1.0)
+
+
+class TestBackoff:
+    def test_capped_exponential_schedule(self):
+        supervisor = RecoverySupervisor(
+            scenario(),
+            MiDrrScheduler,
+            backoff_base=0.1,
+            backoff_cap=1.0,
+        )
+        assert supervisor.backoff_for(1) == pytest.approx(0.1)
+        assert supervisor.backoff_for(2) == pytest.approx(0.2)
+        assert supervisor.backoff_for(3) == pytest.approx(0.4)
+        assert supervisor.backoff_for(4) == pytest.approx(0.8)
+        assert supervisor.backoff_for(5) == pytest.approx(1.0)  # capped
+        assert supervisor.backoff_for(50) == pytest.approx(1.0)
+
+
+class TestBreaker:
+    def test_crash_loop_trips_breaker(self):
+        registry = MetricsRegistry()
+        # Five triggers at the same early event with a segment too long
+        # to ever complete first: every restart dies at the same point.
+        supervisor = RecoverySupervisor(
+            scenario(),
+            MiDrrScheduler,
+            injector=CrashInjector(at_events=[50] * 5),
+            checkpoint_every_events=100_000,
+            crash_loop_threshold=4,
+            registry=registry,
+        )
+        with pytest.raises(RecoveryError, match="breaker open"):
+            supervisor.run()
+        assert registry.get("recovery.breaker_trips_total").value == 1
+        assert registry.get("recovery.crashes_total").value == 4
+        assert registry.get("recovery.consecutive_crashes").value == 4
+
+    def test_progress_resets_the_streak(self):
+        registry = MetricsRegistry()
+        # Crashes spaced across segments: each restart makes progress
+        # before the next trigger, so the streak never accumulates.
+        supervisor = RecoverySupervisor(
+            scenario(),
+            MiDrrScheduler,
+            injector=CrashInjector(at_events=[150, 350, 550, 750]),
+            checkpoint_every_events=100,
+            crash_loop_threshold=3,
+            registry=registry,
+        )
+        supervisor.run()
+        assert registry.get("recovery.crashes_total").value == 4
+        assert registry.get("recovery.breaker_trips_total").value == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_every_events": 0},
+            {"checkpoint_every_events": -5},
+            {"crash_loop_threshold": 0},
+            {"backoff_base": 0.0},
+            {"backoff_base": 1.0, "backoff_cap": 0.5},
+        ],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RecoverySupervisor(scenario(), MiDrrScheduler, **kwargs)
+
+
+class TestSupervisedExtras:
+    def test_supervisor_threads_extras_through_restores(self):
+        from repro.health import Watchdog
+
+        def extras(run):
+            watchdog = Watchdog(run.sim, run.engine)
+            watchdog.start()
+            run.attach("health:watchdog", watchdog)
+
+        reference = RecoverableScenarioRun(
+            scenario(), MiDrrScheduler, extras=extras
+        )
+        reference.run_to_completion()
+
+        supervisor = RecoverySupervisor(
+            scenario(),
+            MiDrrScheduler,
+            injector=CrashInjector(at_events=[300, 900]),
+            extras=extras,
+            checkpoint_every_events=200,
+        )
+        final = supervisor.run()
+        for spec in scenario().flows:
+            assert final.engine.stats.bytes_sent(
+                spec.flow_id
+            ) == reference.engine.stats.bytes_sent(spec.flow_id)
+        watchdog = final._components["health:watchdog"]
+        assert watchdog.ticks == reference._components["health:watchdog"].ticks

@@ -1,0 +1,49 @@
+"""Repo lint gate: the source tree must always byte-compile cleanly.
+
+``python -m compileall`` runs unconditionally (it needs nothing beyond
+the stdlib); ``ruff check`` runs only where ruff is installed, so the
+gate degrades gracefully in minimal containers without silently
+weakening CI environments that do carry the linter.
+"""
+
+import compileall
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def test_source_tree_byte_compiles():
+    assert compileall.compile_dir(SRC, quiet=2, force=True), (
+        "src/ contains files that do not byte-compile; run "
+        "`python -m compileall src` for details"
+    )
+
+
+def test_ruff_clean_when_available():
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        import pytest
+
+        pytest.skip("ruff not installed in this environment")
+    result = subprocess.run(
+        [ruff, "check", SRC],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, f"ruff check failed:\n{result.stdout}"
+
+
+def test_tests_tree_byte_compiles():
+    tests_dir = os.path.join(REPO_ROOT, "tests")
+    assert compileall.compile_dir(tests_dir, quiet=2, force=True)
+
+
+def test_running_interpreter_matches_supported_floor():
+    # pyproject declares requires-python >= 3.9; the gate itself should
+    # never run under something older without noticing.
+    assert sys.version_info >= (3, 9)
