@@ -12,6 +12,7 @@ Usage::
     midrr all             # every figure
     midrr chaos --seed 7 --duration 60        # seeded fault-injection run
     midrr bench core                          # hot-path baseline -> BENCH_core.json
+    midrr bench smoke --check-regression      # fast sanity + perf gate
     midrr bench obs                           # metrics-overhead comparison
     midrr obs --flows 100 --out obs.jsonl     # instrumented run + JSONL snapshots
     midrr obs --selftest                      # registry + JSONL round-trip check
@@ -45,19 +46,27 @@ from .obs import (
 )
 from .obs.selftest import run_selftest
 from .perf import (
+    DEFAULT_CONFIGS,
     DEFAULT_FLOW_COUNTS,
     DEFAULT_INTERFACE_COUNTS,
     DEFAULT_OVERHEAD_TARGET_PACKETS,
     DEFAULT_TARGET_PACKETS,
     OVERHEAD_NOISE_CEILING,
+    REGRESSION_THRESHOLD,
     build_core_scenario,
+    calibrate,
+    check_regression,
     committed_baseline_cell,
+    find_cell,
     render_bench_table,
     render_overhead_table,
+    run_cell,
     run_core_bench,
     run_metrics_overhead,
+    validate_bench_document,
     write_bench_document,
 )
+from .sim.events import QUEUE_BACKENDS
 from .recovery import (
     RecoverableScenarioRun,
     load_checkpoint,
@@ -335,11 +344,23 @@ def _parse_counts(text: str, option: str) -> List[int]:
     return counts
 
 
+def _parse_bench_configs(args: argparse.Namespace) -> List[tuple]:
+    """The (backend, batching) sweep requested by --backend/--batching."""
+    backends = list(QUEUE_BACKENDS) if args.backend == "all" else [args.backend]
+    modes = {"off": [False], "on": [True], "both": [False, True]}[args.batching]
+    return [(backend, mode) for backend in backends for mode in modes]
+
+
 def cmd_bench_core(args: argparse.Namespace) -> None:
     """Run the seeded hot-path macro-benchmark and write BENCH_core.json.
 
     The workload (event/packet/decision counts) is deterministic per
-    seed; only wall-clock rates vary between machines.
+    seed; only wall-clock rates vary between machines. ``--backend`` /
+    ``--batching`` narrow the per-cell configuration sweep; the default
+    covers the full heap/calendar × batching on/off matrix. ``--pypy``
+    re-runs the same grid under ``pypy3`` (when installed) into a
+    sibling document whose ``platform.implementation`` records the
+    interpreter.
     """
     document = run_core_bench(
         flow_counts=_parse_counts(args.flows, "--flows"),
@@ -347,10 +368,160 @@ def cmd_bench_core(args: argparse.Namespace) -> None:
         seed=args.seed,
         target_packets=args.target_packets,
         progress=lambda message: print(message, file=sys.stderr),
+        configs=_parse_bench_configs(args),
     )
     _print(render_bench_table(document))
     write_bench_document(document, args.out)
     print(f"wrote {args.out}")
+    if args.pypy:
+        _run_pypy_lane(args)
+
+
+def _run_pypy_lane(args: argparse.Namespace) -> None:
+    """Optional PyPy comparison lane for ``bench core --pypy``.
+
+    Runs the identical grid under ``pypy3`` into ``<out>.pypy.json``.
+    The lane is advisory: a missing interpreter prints a note instead
+    of failing, so the flag is safe in scripted environments where
+    PyPy may or may not be provisioned.
+    """
+    import shutil
+    import subprocess
+
+    pypy = shutil.which("pypy3")
+    if pypy is None:
+        print("pypy3 not found on PATH; skipping the PyPy lane", file=sys.stderr)
+        return
+    out = f"{args.out}.pypy.json"
+    command = [
+        pypy,
+        "-m",
+        "repro.cli",
+        "bench",
+        "core",
+        "--seed", str(args.seed),
+        "--flows", args.flows,
+        "--interfaces", args.interfaces,
+        "--target-packets", str(args.target_packets),
+        "--backend", args.backend,
+        "--batching", args.batching,
+        "--out", out,
+    ]
+    print(f"running PyPy lane -> {out} ...", file=sys.stderr)
+    completed = subprocess.run(command)
+    if completed.returncode != 0:
+        print(
+            f"PyPy lane failed with exit code {completed.returncode}",
+            file=sys.stderr,
+        )
+
+
+def cmd_bench_smoke(args: argparse.Namespace) -> None:
+    """Fast bench sanity: a miniature grid plus an optional perf gate.
+
+    Always runs a small grid through the full sweep and validates the
+    document shape (seconds of wall time). With ``--check-regression``
+    it additionally measures the committed baseline's gated cell
+    (F=1000, I=8 by default) and exits 2 if packets/sec fell more than
+    20% below ``BENCH_core.json`` — unless the
+    ``MIDRR_SKIP_BENCH_REGRESSION`` environment variable is set (CI
+    machines with unpredictable load can opt out without editing the
+    test suite).
+    """
+    import os
+
+    document = run_core_bench(
+        flow_counts=[10],
+        interface_counts=[2],
+        seed=args.seed,
+        target_packets=400,
+        configs=DEFAULT_CONFIGS,
+    )
+    problems = validate_bench_document(document)
+    if problems:
+        for problem in problems:
+            print(f"bench smoke: {problem}", file=sys.stderr)
+        raise SystemExit(2)
+    print("bench smoke: miniature grid ok")
+    if not args.check_regression:
+        return
+    if os.environ.get("MIDRR_SKIP_BENCH_REGRESSION"):
+        print(
+            "bench smoke: MIDRR_SKIP_BENCH_REGRESSION set; skipping the "
+            "regression gate"
+        )
+        return
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"bench smoke: cannot read {args.baseline}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    # Divide out machine/interpreter speed drift: re-run the same
+    # deterministic micro-benchmark the baseline recorded and scale the
+    # floors by how much slower this host is right now.
+    load_factor = 1.0
+    baseline_calibration = baseline.get("calibration_seconds")
+    if baseline_calibration:
+        load_factor = max(1.0, calibrate() / float(baseline_calibration))
+        if load_factor > 1.05:
+            print(
+                f"bench smoke: host reads {load_factor:.2f}x slower than "
+                "at baseline time; floors scaled accordingly",
+                file=sys.stderr,
+            )
+    gated = []
+    for backend, batching in DEFAULT_CONFIGS:
+        print(
+            f"bench smoke: gating F={args.gate_flows} I={args.gate_interfaces} "
+            f"{backend}{'+batch' if batching else ''} ...",
+            file=sys.stderr,
+        )
+        base = find_cell(
+            baseline, args.gate_flows, args.gate_interfaces, backend, batching
+        )
+        floor = (
+            float(base["packets_per_sec"])
+            * (1.0 - REGRESSION_THRESHOLD)
+            / load_factor
+            if base is not None
+            else 0.0
+        )
+        # Best of three, at 4x the baseline packet count: the gate
+        # measures the machine's capability, not its instantaneous
+        # load. Longer runs average over the sub-second load windows
+        # shared hosts exhibit (and amortize warmup, which only adds
+        # safe headroom over a baseline measured on short runs); a
+        # config counts as regressed only when no attempt clears the
+        # floor.
+        best = None
+        for _attempt in range(3):
+            cell = run_cell(
+                args.gate_flows,
+                args.gate_interfaces,
+                seed=baseline.get("seed", 0),
+                target_packets=4
+                * baseline.get("target_packets", DEFAULT_TARGET_PACKETS),
+                backend=backend,
+                batching=batching,
+            )
+            if best is None or cell["packets_per_sec"] > best["packets_per_sec"]:
+                best = cell
+            if best["packets_per_sec"] >= floor:
+                break
+        gated.append(best)
+    failures = check_regression(
+        {"grid": gated},
+        baseline,
+        flows=args.gate_flows,
+        interfaces=args.gate_interfaces,
+        load_factor=load_factor,
+    )
+    if failures:
+        for failure in failures:
+            print(f"bench smoke: REGRESSION {failure}", file=sys.stderr)
+        raise SystemExit(2)
+    print("bench smoke: no hot-path regression vs " + args.baseline)
 
 
 def cmd_bench_obs(args: argparse.Namespace) -> None:
@@ -655,7 +826,37 @@ def build_parser() -> argparse.ArgumentParser:
     core.add_argument(
         "--target-packets", type=int, default=DEFAULT_TARGET_PACKETS
     )
+    core.add_argument(
+        "--backend",
+        choices=list(QUEUE_BACKENDS) + ["auto", "all"],
+        default="all",
+        help="event-queue backend sweep; 'auto' microbenchmarks and "
+        "picks one, 'all' sweeps both (default: all)",
+    )
+    core.add_argument(
+        "--batching",
+        choices=["off", "on", "both"],
+        default="both",
+        help="fused service quanta sweep (default: both)",
+    )
+    core.add_argument(
+        "--pypy", action="store_true",
+        help="also run the grid under pypy3 (skipped if not installed)",
+    )
     core.set_defaults(func=cmd_bench_core)
+    smoke = bench_sub.add_parser(
+        "smoke", help="fast bench sanity + optional perf regression gate"
+    )
+    smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument(
+        "--check-regression", action="store_true",
+        help="fail (exit 2) on >20%% packets/s loss vs the baseline "
+        "(set MIDRR_SKIP_BENCH_REGRESSION to skip)",
+    )
+    smoke.add_argument("--baseline", default="BENCH_core.json")
+    smoke.add_argument("--gate-flows", type=int, default=1000)
+    smoke.add_argument("--gate-interfaces", type=int, default=8)
+    smoke.set_defaults(func=cmd_bench_smoke)
     obs_bench = bench_sub.add_parser(
         "obs", help="metrics-overhead comparison (bare vs instrumented)"
     )

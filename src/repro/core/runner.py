@@ -189,6 +189,8 @@ def run_scenario(
     scheduler_factory: SchedulerFactory,
     max_events: Optional[int] = None,
     on_engine: Optional[Callable[[Simulator, SchedulingEngine], None]] = None,
+    queue_backend: str = "heap",
+    batching: bool = False,
 ) -> ExperimentResult:
     """Run *scenario* under a scheduler built by *scheduler_factory*.
 
@@ -196,11 +198,17 @@ def run_scenario(
     topology and flows are wired but before the first kick — the hook
     observability and health layers use to attach instrumentation or
     watchdogs to a scenario run without rebuilding the harness.
+
+    *queue_backend* selects the event-queue implementation (``"heap"``,
+    ``"calendar"`` or ``"auto"``); *batching* opts in to fused service
+    quanta. Both are decision- and trace-preserving: any backend ×
+    batching combination produces byte-identical scheduling decisions
+    for the same scenario and seed.
     """
-    sim = Simulator()
+    sim = Simulator(queue_backend=queue_backend)
     streams = RandomStreams(scenario.seed)
     scheduler = scheduler_factory()
-    engine = SchedulingEngine(sim, scheduler)
+    engine = SchedulingEngine(sim, scheduler, batching=batching)
     result = ExperimentResult(
         scenario=scenario, stats=engine.stats, sim=sim, engine=engine
     )

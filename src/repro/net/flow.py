@@ -33,6 +33,7 @@ class Flow:
         "_arrival_listeners",
         "_dequeue_listeners",
         "_drop_listeners",
+        "_prefs_listeners",
     )
 
     def __init__(
@@ -70,6 +71,7 @@ class Flow:
         self._arrival_listeners: List[Callable[["Flow", Packet], None]] = []
         self._dequeue_listeners: List[Callable[["Flow", Packet], None]] = []
         self._drop_listeners: List[Callable[["Flow", Packet], None]] = []
+        self._prefs_listeners: List[Callable[["Flow"], None]] = []
         self.queue.set_drop_listener(self._dropped)
 
     # ------------------------------------------------------------------
@@ -92,6 +94,18 @@ class Flow:
             )
         self._allowed = frozenset(interfaces)
         self.prefs_version += 1
+        for listener in self._prefs_listeners:
+            listener(self)
+
+    def on_prefs_change(self, listener: Callable[["Flow"], None]) -> None:
+        """Register a callback fired after :meth:`restrict_to`.
+
+        The engine uses this to abort any in-progress transmission
+        batch for the flow: a preference change can alter scheduling
+        decisions, so fused quanta must fall back to per-packet events
+        at that instant.
+        """
+        self._prefs_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Backlog

@@ -11,10 +11,15 @@ every PR can compare against the previous baseline.
 
 from .core_bench import (
     BENCH_SCHEMA_VERSION,
+    DEFAULT_CONFIGS,
     DEFAULT_FLOW_COUNTS,
     DEFAULT_INTERFACE_COUNTS,
     DEFAULT_TARGET_PACKETS,
+    REGRESSION_THRESHOLD,
     build_core_scenario,
+    calibrate,
+    check_regression,
+    find_cell,
     render_bench_table,
     run_cell,
     run_core_bench,
@@ -32,14 +37,19 @@ from .obs_bench import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "DEFAULT_CONFIGS",
     "DEFAULT_FLOW_COUNTS",
     "DEFAULT_INTERFACE_COUNTS",
     "DEFAULT_OVERHEAD_TARGET_PACKETS",
     "DEFAULT_TARGET_PACKETS",
     "OVERHEAD_BUDGET",
     "OVERHEAD_NOISE_CEILING",
+    "REGRESSION_THRESHOLD",
     "build_core_scenario",
+    "calibrate",
+    "check_regression",
     "committed_baseline_cell",
+    "find_cell",
     "render_bench_table",
     "render_overhead_table",
     "run_cell",

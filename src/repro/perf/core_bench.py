@@ -34,15 +34,33 @@ from ..core.runner import run_scenario
 from ..core.scenario import FlowSpec, InterfaceSpec, Scenario, TrafficSpec
 from ..errors import ConfigurationError
 from ..schedulers.midrr import MiDrrScheduler
+from ..sim.events import (
+    QUEUE_BACKENDS,
+    auto_select_backend,
+    benchmark_backends,
+)
 from ..sim.randomness import RandomStreams
 from ..units import mbps
 
-#: Version stamp for the BENCH_core.json schema.
-BENCH_SCHEMA_VERSION = 1
+#: Version stamp for the BENCH_core.json schema. Version 2 added the
+#: ``backend`` / ``batching`` cell dimensions (event-queue backend ×
+#: fused service quanta) and the top-level ``auto_backend`` field.
+BENCH_SCHEMA_VERSION = 2
 
 #: The default grid: flow counts × interface counts.
 DEFAULT_FLOW_COUNTS = (10, 100, 1000)
 DEFAULT_INTERFACE_COUNTS = (2, 4, 8)
+
+#: The default configuration sweep: (queue backend, batching) pairs.
+DEFAULT_CONFIGS = (
+    ("heap", False),
+    ("heap", True),
+    ("calendar", False),
+    ("calendar", True),
+)
+
+#: Fractional packets/sec loss that fails a regression check.
+REGRESSION_THRESHOLD = 0.20
 
 #: Packets transmitted per cell (sets the virtual duration).
 DEFAULT_TARGET_PACKETS = 6000
@@ -55,6 +73,8 @@ CELL_KEYS = frozenset(
     {
         "flows",
         "interfaces",
+        "backend",
+        "batching",
         "virtual_seconds",
         "events",
         "packets",
@@ -75,10 +95,28 @@ DOCUMENT_KEYS = frozenset(
         "quantum_base",
         "packet_size",
         "target_packets",
+        "auto_backend",
+        "calibration_seconds",
         "platform",
         "grid",
     }
 )
+
+
+def calibrate() -> float:
+    """Machine-speed probe: best-of-3 heap churn micro-benchmark time.
+
+    The same deterministic pure-Python workload every time, so the
+    ratio of two ``calibrate()`` readings taken on different occasions
+    estimates how much slower (or faster) the interpreter+machine is
+    running now versus then — which is exactly the factor a wall-clock
+    regression gate must divide out before blaming the code. Best-of-3
+    with the minimum: CPU-bound timing noise is one-sided.
+    """
+    return min(
+        benchmark_backends(churn=32768, pending=512)["heap"]
+        for _ in range(3)
+    )
 
 
 def build_core_scenario(
@@ -144,6 +182,8 @@ def run_cell(
     packet_size: int = 1500,
     quantum_base: int = 1500,
     instrument: bool = False,
+    backend: str = "heap",
+    batching: bool = False,
 ) -> Dict[str, object]:
     """Run one grid cell and return its measurement row.
 
@@ -154,6 +194,12 @@ def run_cell(
     must not perturb scheduling: packet and decision counts are
     identical to the uninstrumented cell (the obs smoke test asserts
     this); only event counts grow by the snapshot ticks.
+
+    *backend* selects the event-queue implementation and *batching*
+    fuses forced service quanta into single events. Packet and decision
+    counts are invariant across all four combinations (scheduling
+    decisions are byte-identical — the equivalence tests pin this);
+    event counts shrink under batching because that is the whole point.
     """
     scenario = build_core_scenario(
         num_flows,
@@ -186,6 +232,8 @@ def run_cell(
         scenario,
         lambda: MiDrrScheduler(quantum_base=quantum_base),
         on_engine=on_engine,
+        queue_backend=backend,
+        batching=batching,
     )
     wall = time.perf_counter() - started
     packets = sum(
@@ -198,6 +246,8 @@ def run_cell(
     cell = {
         "flows": num_flows,
         "interfaces": num_interfaces,
+        "backend": result.sim.queue_backend,
+        "batching": batching,
         "virtual_seconds": round(scenario.duration, 6),
         "events": events,
         "packets": packets,
@@ -222,23 +272,38 @@ def run_core_bench(
     packet_size: int = 1500,
     quantum_base: int = 1500,
     progress: Optional[callable] = None,
+    configs: Sequence = DEFAULT_CONFIGS,
 ) -> Dict[str, object]:
-    """Run the full grid and return the BENCH_core document."""
+    """Run the full grid and return the BENCH_core document.
+
+    *configs* is the (backend, batching) sweep each (F, I) cell runs
+    under — :data:`DEFAULT_CONFIGS` covers the full 2×2 matrix so the
+    committed baseline lets any configuration be compared against any
+    other. ``auto_backend`` records what the push/pop microbenchmark
+    (:func:`repro.sim.events.auto_select_backend`) picks on this
+    machine.
+    """
     grid: List[Dict[str, object]] = []
     for num_flows in flow_counts:
         for num_interfaces in interface_counts:
-            if progress is not None:
-                progress(f"bench core: F={num_flows} I={num_interfaces} ...")
-            grid.append(
-                run_cell(
-                    num_flows,
-                    num_interfaces,
-                    seed=seed,
-                    target_packets=target_packets,
-                    packet_size=packet_size,
-                    quantum_base=quantum_base,
+            for backend, batching in configs:
+                if progress is not None:
+                    progress(
+                        f"bench core: F={num_flows} I={num_interfaces} "
+                        f"{backend}{'+batch' if batching else ''} ..."
+                    )
+                grid.append(
+                    run_cell(
+                        num_flows,
+                        num_interfaces,
+                        seed=seed,
+                        target_packets=target_packets,
+                        packet_size=packet_size,
+                        quantum_base=quantum_base,
+                        backend=backend,
+                        batching=batching,
+                    )
                 )
-            )
     return {
         "name": "core",
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -246,6 +311,8 @@ def run_core_bench(
         "quantum_base": quantum_base,
         "packet_size": packet_size,
         "target_packets": target_packets,
+        "auto_backend": auto_select_backend(),
+        "calibration_seconds": round(calibrate(), 6),
         "platform": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -265,13 +332,26 @@ def validate_bench_document(document: Dict[str, object]) -> List[str]:
     problems: List[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
-    missing = DOCUMENT_KEYS - set(document)
+    # Schema 1 predates the backend/batching dimensions; its documents
+    # (the committed pre-optimisation baseline) stay valid and read as
+    # an implicit (heap, unbatched) sweep.
+    legacy = document.get("schema_version") == 1
+    required_doc = DOCUMENT_KEYS - (
+        {"auto_backend", "calibration_seconds"} if legacy else set()
+    )
+    required_cell = CELL_KEYS - ({"backend", "batching"} if legacy else set())
+    missing = required_doc - set(document)
     if missing:
         problems.append(f"missing top-level keys: {sorted(missing)}")
     if not isinstance(document.get("seed"), int):
         problems.append("seed must be an integer")
     if document.get("name") != "core":
         problems.append(f"name must be 'core', got {document.get('name')!r}")
+    calibration = document.get("calibration_seconds")
+    if calibration is not None and (
+        not isinstance(calibration, (int, float)) or calibration <= 0
+    ):
+        problems.append("calibration_seconds must be a positive number")
     grid = document.get("grid")
     if not isinstance(grid, list) or not grid:
         problems.append("grid must be a non-empty list")
@@ -280,16 +360,101 @@ def validate_bench_document(document: Dict[str, object]) -> List[str]:
         if not isinstance(cell, dict):
             problems.append(f"grid[{index}] is not an object")
             continue
-        missing = CELL_KEYS - set(cell)
+        missing = required_cell - set(cell)
         if missing:
             problems.append(f"grid[{index}] missing keys: {sorted(missing)}")
             continue
+        if cell.get("backend", "heap") not in QUEUE_BACKENDS:
+            problems.append(
+                f"grid[{index}] has unknown backend {cell.get('backend')!r}"
+            )
+        if not isinstance(cell.get("batching", False), bool):
+            problems.append(f"grid[{index}] batching must be a boolean")
         if cell["packets"] <= 0:
             problems.append(f"grid[{index}] transmitted no packets")
         if cell["packets_per_sec"] <= 0 or cell["events_per_sec"] <= 0:
             problems.append(f"grid[{index}] has zero throughput")
         if cell["decisions"] <= 0:
             problems.append(f"grid[{index}] made no scheduling decisions")
+    return problems
+
+
+def find_cell(
+    document: Dict[str, object],
+    flows: int,
+    interfaces: int,
+    backend: str = "heap",
+    batching: bool = False,
+) -> Optional[Dict[str, object]]:
+    """The grid cell matching the given coordinates, or ``None``.
+
+    Schema-1 documents carry no backend/batching fields; their cells
+    match only the ``("heap", False)`` coordinate (that is what they
+    measured).
+    """
+    for cell in document.get("grid", ()):
+        if (
+            cell.get("flows") == flows
+            and cell.get("interfaces") == interfaces
+            and cell.get("backend", "heap") == backend
+            and bool(cell.get("batching", False)) == batching
+        ):
+            return cell
+    return None
+
+
+def check_regression(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    flows: int = 1000,
+    interfaces: int = 8,
+    threshold: float = REGRESSION_THRESHOLD,
+    load_factor: float = 1.0,
+) -> List[str]:
+    """Compare like-for-like packets/sec against a committed baseline.
+
+    Returns a list of human-readable failures; empty means no cell
+    regressed more than *threshold* (fractional). Only coordinates
+    present in **both** documents are compared — a schema-1 baseline
+    therefore gates the ``(heap, unbatched)`` configuration only, so
+    the check stays meaningful across the schema bump. Wall-clock
+    numbers are machine-dependent: this is a tripwire against gross
+    hot-path regressions, not a precision benchmark, hence the generous
+    threshold and the single (largest) gated cell.
+
+    *load_factor* divides the floor: pass ``calibrate() /
+    baseline["calibration_seconds"]`` (clamped to >= 1) so a machine
+    that is measurably slower now than when the baseline was written
+    does not read as a code regression. Load the gate cannot calibrate
+    away still fails it — hence the env-var escape documented on
+    ``bench smoke``.
+    """
+    problems: List[str] = []
+    compared = 0
+    load_factor = max(load_factor, 1.0)
+    for backend in QUEUE_BACKENDS:
+        for batching in (False, True):
+            base = find_cell(baseline, flows, interfaces, backend, batching)
+            cur = find_cell(current, flows, interfaces, backend, batching)
+            if base is None or cur is None:
+                continue
+            compared += 1
+            base_pps = float(base["packets_per_sec"])
+            cur_pps = float(cur["packets_per_sec"])
+            floor = base_pps * (1.0 - threshold) / load_factor
+            if cur_pps < floor:
+                problems.append(
+                    f"F={flows} I={interfaces} {backend}"
+                    f"{'+batch' if batching else ''}: "
+                    f"{cur_pps:,.1f} packets/s is below the floor "
+                    f"{floor:,.1f} (baseline {base_pps:,.1f}, threshold "
+                    f"{threshold:.0%}, load factor {load_factor:.2f})"
+                )
+    if not compared:
+        problems.append(
+            f"no comparable F={flows} I={interfaces} cells between the "
+            "current run and the baseline document"
+        )
     return problems
 
 
@@ -313,6 +478,8 @@ def render_bench_table(document: Dict[str, object]) -> str:
         [
             cell["flows"],
             cell["interfaces"],
+            cell.get("backend", "heap"),
+            "on" if cell.get("batching", False) else "off",
             cell["packets"],
             f"{cell['wall_seconds']:.3f}",
             f"{cell['events_per_sec']:,.0f}",
@@ -322,7 +489,17 @@ def render_bench_table(document: Dict[str, object]) -> str:
         for cell in document["grid"]
     ]
     return render_table(
-        ["flows", "ifaces", "packets", "wall s", "events/s", "packets/s", "decisions/s"],
+        [
+            "flows",
+            "ifaces",
+            "backend",
+            "batch",
+            "packets",
+            "wall s",
+            "events/s",
+            "packets/s",
+            "decisions/s",
+        ],
         rows,
         title=f"== bench core (seed {document['seed']}) ==",
     )

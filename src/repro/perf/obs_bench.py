@@ -161,7 +161,12 @@ def run_metrics_overhead(
 def committed_baseline_cell(
     document: Dict[str, object], num_flows: int, num_interfaces: int
 ) -> Optional[Dict[str, object]]:
-    """The matching grid cell from a committed BENCH_core document."""
+    """The matching grid cell from a committed BENCH_core document.
+
+    The overhead bench runs bare (heap backend, no batching), so only
+    that configuration's cell is comparable; schema-1 documents carry
+    no backend/batching fields and match implicitly.
+    """
     grid = document.get("grid")
     if not isinstance(grid, list):
         return None
@@ -170,6 +175,8 @@ def committed_baseline_cell(
             isinstance(cell, dict)
             and cell.get("flows") == num_flows
             and cell.get("interfaces") == num_interfaces
+            and cell.get("backend", "heap") == "heap"
+            and not cell.get("batching", False)
         ):
             return cell
     return None

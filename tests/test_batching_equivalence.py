@@ -1,0 +1,164 @@
+"""Backend × batching equivalence on the paper workloads.
+
+The perf machinery must never change *what* is simulated: the calendar
+queue and fused service quanta are both required to be decision- and
+trace-preserving. These tests run each workload across the full
+``{heap, calendar} × {batching off, on}`` matrix and require:
+
+* per-interface decision streams (observed through the engine's
+  decision probe, the same tap fig1/6/7 traces use) byte-identical;
+* the global ``decision_flows_examined`` telemetry equal as a
+  length-preserving multiset — under multi-interface batching the
+  per-decision entries interleave across interfaces in a different
+  global order while each interface's own stream is unchanged (see
+  docs/architecture.md);
+* service samples, per-flow byte totals, interface counters and the
+  miDRR turn/flag counters identical.
+
+A separate check asserts the bench workload actually fuses quanta, so
+"equivalent" is not satisfied vacuously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import pytest
+
+from repro.experiments import fig1, fig6
+from repro.perf import build_core_scenario
+from repro.core.runner import run_scenario
+from repro.schedulers.midrr import MiDrrScheduler
+
+CONFIGS = (
+    ("heap", False),
+    ("heap", True),
+    ("calendar", False),
+    ("calendar", True),
+)
+
+
+class ProbeRecorder:
+    """Record the per-interface decision stream through the probe tap."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.streams = {}
+
+    def __call__(self, interface):
+        packet = self.engine.scheduler.select(interface.interface_id)
+        self.streams.setdefault(interface.interface_id, []).append(
+            None if packet is None else (packet.flow_id, packet.size_bytes)
+        )
+        return packet
+
+
+def run_config(scenario, backend, batching):
+    recorder_box = {}
+
+    def attach(sim, engine):
+        recorder = ProbeRecorder(engine)
+        engine.set_decision_probe(recorder, every=1)
+        recorder_box["probe"] = recorder
+
+    result = run_scenario(
+        scenario,
+        MiDrrScheduler,
+        on_engine=attach,
+        queue_backend=backend,
+        batching=batching,
+    )
+    return result, recorder_box["probe"]
+
+
+def fingerprint(result):
+    scheduler = result.engine.scheduler
+    return {
+        "samples": sorted(
+            (s.time, s.flow_id, s.interface_id, s.size_bytes, s.delay)
+            for s in result.stats.samples
+        ),
+        "bytes": {
+            flow_id: result.stats.bytes_sent(flow_id)
+            for flow_id in result.stats.flow_ids()
+        },
+        "completions": result.completions,
+        "interfaces": {
+            interface_id: (
+                interface.packets_sent,
+                round(interface.busy_time, 9),
+            )
+            for interface_id, interface in result.engine.interfaces.items()
+        },
+        "turns": scheduler.turns_taken,
+        "flags": (scheduler.flags_set_total, scheduler.flags_cleared_total),
+        "examined_multiset": Counter(scheduler.decision_flows_examined),
+        "examined_len": len(scheduler.decision_flows_examined),
+    }
+
+
+def assert_matrix_equivalent(scenario, expect_batched=False):
+    reference = None
+    batched_somewhere = False
+    for backend, batching in CONFIGS:
+        result, probe = run_config(scenario, backend, batching)
+        assert result.sim.queue_backend == backend
+        current = (fingerprint(result), probe.streams)
+        if reference is None:
+            reference = current
+        else:
+            assert current == reference, (
+                f"{scenario.name}: ({backend}, batching={batching}) "
+                "diverged from (heap, batching=False)"
+            )
+        if batching:
+            batched_somewhere |= any(
+                interface.packets_batched > 0
+                for interface in result.engine.interfaces.values()
+            )
+    if expect_batched:
+        assert batched_somewhere, (
+            f"{scenario.name}: batching never fused a quantum — the "
+            "equivalence above is vacuous"
+        )
+
+
+class TestPaperWorkloads:
+    def test_fig1a(self):
+        # DRR quanta ≈ packet size here, so no window is ever provably
+        # forced: the interesting property is that planning leaves the
+        # trace untouched even when every plan declines.
+        assert_matrix_equivalent(fig1.ALL_SCENARIOS["fig1a"]())
+
+    def test_fig6_first_phase(self):
+        scenario = dataclasses.replace(fig6.scenario(), duration=12.0)
+        assert_matrix_equivalent(scenario, expect_batched=True)
+
+
+class TestBenchWorkload:
+    def test_core_grid_cell(self):
+        scenario = build_core_scenario(
+            100, 4, seed=0, target_packets=2000
+        )
+        assert_matrix_equivalent(scenario, expect_batched=True)
+
+    def test_calendar_bucket_boundary_cell(self):
+        """Regression: this cell drove the calendar scan onto a bucket
+        whose recomputed year boundary disagreed (in floats) with the
+        insert-side ``int(time / width)`` mapping, deferring a pending
+        fused-batch event a full year; a foreign interface's abort then
+        tried to reschedule its in-flight completion into the past
+        (``cannot schedule at t=0.0672 before now=0.0714``)."""
+        scenario = build_core_scenario(20, 4, seed=0, target_packets=500)
+        assert_matrix_equivalent(scenario, expect_batched=True)
+
+    def test_tied_completions_across_interfaces(self):
+        """The cross-interface tie regression: capacity-ratio rates make
+        completions on different interfaces collide at the same instant;
+        the per-interface tx_priority must keep the tie order identical
+        whether or not the colliding event came from a fused batch."""
+        scenario = build_core_scenario(
+            200, 8, seed=0, target_packets=2000
+        )
+        assert_matrix_equivalent(scenario, expect_batched=True)

@@ -70,16 +70,38 @@ class TestSmokeBench:
         assert document["seed"] == 0
 
     def test_cell_throughput_nonzero(self, document):
-        (cell,) = document["grid"]
-        assert cell["packets"] > 0
-        assert cell["packets_per_sec"] > 0
-        assert cell["events_per_sec"] > 0
-        assert cell["decisions"] >= cell["packets"]
+        # One (F, I) coordinate swept across the 2×2 backend × batching
+        # configuration matrix.
+        assert len(document["grid"]) == 4
+        for cell in document["grid"]:
+            assert cell["packets"] > 0
+            assert cell["packets_per_sec"] > 0
+            assert cell["events_per_sec"] > 0
+            assert cell["decisions"] >= cell["packets"]
+
+    def test_workload_invariant_across_configs(self, document):
+        """Backend and batching must not change *what* is simulated:
+        packet and decision counts are identical in every cell; only
+        the event count shrinks when quanta are fused."""
+        cells = document["grid"]
+        assert len({cell["packets"] for cell in cells}) == 1
+        assert len({cell["decisions"] for cell in cells}) == 1
+        for cell in cells:
+            baseline = next(
+                c for c in cells
+                if c["backend"] == cell["backend"] and not c["batching"]
+            )
+            if cell["batching"]:
+                assert cell["events"] <= baseline["events"]
 
     def test_counts_are_seed_deterministic(self, document):
         again = run_core_bench(seed=0, **SMOKE_KWARGS)
-        for key in ("events", "packets", "decisions", "virtual_seconds"):
-            assert again["grid"][0][key] == document["grid"][0][key]
+        for first, second in zip(document["grid"], again["grid"]):
+            for key in (
+                "backend", "batching", "events", "packets", "decisions",
+                "virtual_seconds",
+            ):
+                assert first[key] == second[key]
 
     def test_write_and_render(self, document, tmp_path):
         path = tmp_path / "BENCH_core.json"
@@ -186,7 +208,8 @@ def test_full_default_grid():
     """The committed BENCH_core.json workload, end to end (slow)."""
     document = run_core_bench(seed=0)
     assert validate_bench_document(document) == []
-    assert len(document["grid"]) == 9
+    # 3 flow counts × 3 interface counts × the 2×2 config matrix.
+    assert len(document["grid"]) == 36
 
 
 @pytest.mark.bench

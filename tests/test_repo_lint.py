@@ -47,3 +47,42 @@ def test_running_interpreter_matches_supported_floor():
     # pyproject declares requires-python >= 3.9; the gate itself should
     # never run under something older without noticing.
     assert sys.version_info >= (3, 9)
+
+
+def test_bench_smoke_regression_gate():
+    """``bench smoke --check-regression`` holds against the committed
+    baseline: a >20% like-for-like packets/s loss at the gated cell
+    (F=1000, I=8) fails the build. Set ``MIDRR_SKIP_BENCH_REGRESSION``
+    to skip on hosts whose load makes wall-clock gating meaningless.
+    """
+    import pytest
+
+    if os.environ.get("MIDRR_SKIP_BENCH_REGRESSION"):
+        pytest.skip("MIDRR_SKIP_BENCH_REGRESSION set")
+    baseline = os.path.join(REPO_ROOT, "BENCH_core.json")
+    if not os.path.exists(baseline):
+        pytest.skip("no committed BENCH_core.json to gate against")
+    # A fresh interpreter: wall-clock gating inside the loaded pytest
+    # process reads systematically slow (GC pressure from the suite's
+    # accumulated object graphs), which is load, not a regression.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "bench",
+            "smoke",
+            "--check-regression",
+            "--baseline",
+            baseline,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"bench smoke gate failed:\n{result.stdout}\n{result.stderr}"
+    )
