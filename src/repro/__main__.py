@@ -1,0 +1,13 @@
+"""``python -m repro`` — the CLI without installing the console script.
+
+The documented fleet quickstart (``python -m repro fleet --devices
+1000 --workers 4``) runs through here; it is byte-for-byte the same
+entry point as the installed ``midrr`` command.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Usage::
     midrr fct             # E13: completion times under churn
     midrr all             # every figure
     midrr chaos --seed 7 --duration 60        # seeded fault-injection run
+    midrr fleet --devices 1000 --workers 4    # sharded fleet run + merged report
     midrr bench core                          # hot-path baseline -> BENCH_core.json
     midrr bench smoke --check-regression      # fast sanity + perf gate
     midrr bench obs                           # metrics-overhead comparison
@@ -36,6 +37,7 @@ from .core.scenario import Scenario
 from .errors import ReproError
 from .experiments import fct, fig1, fig6, fig7, fig9, fig10, inbound_ideal
 from .faults.chaos import run_chaos
+from .fleet import EXECUTORS, run_fleet
 from .health.watchdog import Watchdog
 from .obs import (
     MetricsRegistry,
@@ -47,6 +49,8 @@ from .obs import (
 from .obs.selftest import run_selftest
 from .perf import (
     DEFAULT_CONFIGS,
+    DEFAULT_FLEET_DEVICES,
+    DEFAULT_FLEET_WORKERS,
     DEFAULT_FLOW_COUNTS,
     DEFAULT_INTERFACE_COUNTS,
     DEFAULT_OVERHEAD_TARGET_PACKETS,
@@ -55,6 +59,7 @@ from .perf import (
     REGRESSION_THRESHOLD,
     build_core_scenario,
     calibrate,
+    check_fleet_regression,
     check_regression,
     committed_baseline_cell,
     find_cell,
@@ -62,11 +67,13 @@ from .perf import (
     render_overhead_table,
     run_cell,
     run_core_bench,
+    run_fleet_cell,
     run_metrics_overhead,
     validate_bench_document,
     write_bench_document,
 )
 from .sim.events import QUEUE_BACKENDS
+from .trace import WORKLOAD_KINDS, DeviceWorkload
 from .recovery import (
     RecoverableScenarioRun,
     load_checkpoint,
@@ -347,7 +354,12 @@ def _parse_counts(text: str, option: str) -> List[int]:
 def _parse_bench_configs(args: argparse.Namespace) -> List[tuple]:
     """The (backend, batching) sweep requested by --backend/--batching."""
     backends = list(QUEUE_BACKENDS) if args.backend == "all" else [args.backend]
-    modes = {"off": [False], "on": [True], "both": [False, True]}[args.batching]
+    modes = {
+        "off": [False],
+        "on": [True],
+        "auto": ["auto"],
+        "both": [False, True],
+    }[args.batching]
     return [(backend, mode) for backend in backends for mode in modes]
 
 
@@ -357,10 +369,14 @@ def cmd_bench_core(args: argparse.Namespace) -> None:
     The workload (event/packet/decision counts) is deterministic per
     seed; only wall-clock rates vary between machines. ``--backend`` /
     ``--batching`` narrow the per-cell configuration sweep; the default
-    covers the full heap/calendar × batching on/off matrix. ``--pypy``
-    re-runs the same grid under ``pypy3`` (when installed) into a
-    sibling document whose ``platform.implementation`` records the
-    interpreter.
+    covers the full heap/calendar × batching on/off matrix, and
+    ``--batching auto`` takes the per-cell calibrated choice (recorded
+    under ``auto_batching``). ``--fleet-devices`` / ``--fleet-workers``
+    size the devices × workers fleet scaling section (``--no-fleet``
+    drops it). ``--pypy`` re-runs the same grid under ``pypy3`` (when
+    installed) into a sibling document; the lane's outcome — ran,
+    failed, or skipped and why — is recorded under the main document's
+    ``pypy`` key either way.
     """
     document = run_core_bench(
         flow_counts=_parse_counts(args.flows, "--flows"),
@@ -369,21 +385,29 @@ def cmd_bench_core(args: argparse.Namespace) -> None:
         target_packets=args.target_packets,
         progress=lambda message: print(message, file=sys.stderr),
         configs=_parse_bench_configs(args),
+        fleet_device_counts=(
+            () if args.no_fleet else _parse_counts(args.fleet_devices, "--fleet-devices")
+        ),
+        fleet_worker_counts=(
+            () if args.no_fleet else _parse_counts(args.fleet_workers, "--fleet-workers")
+        ),
     )
     _print(render_bench_table(document))
+    if args.pypy:
+        document["pypy"] = _run_pypy_lane(args)
     write_bench_document(document, args.out)
     print(f"wrote {args.out}")
-    if args.pypy:
-        _run_pypy_lane(args)
 
 
-def _run_pypy_lane(args: argparse.Namespace) -> None:
+def _run_pypy_lane(args: argparse.Namespace) -> Dict[str, object]:
     """Optional PyPy comparison lane for ``bench core --pypy``.
 
     Runs the identical grid under ``pypy3`` into ``<out>.pypy.json``.
-    The lane is advisory: a missing interpreter prints a note instead
-    of failing, so the flag is safe in scripted environments where
-    PyPy may or may not be provisioned.
+    The lane is advisory: a missing interpreter or a failed run prints
+    a note instead of failing the command. Either way the returned
+    status dict lands in the main document's ``pypy`` key, so the
+    committed trajectory distinguishes "not run (and why)" from "ran
+    and did not regress".
     """
     import shutil
     import subprocess
@@ -391,7 +415,7 @@ def _run_pypy_lane(args: argparse.Namespace) -> None:
     pypy = shutil.which("pypy3")
     if pypy is None:
         print("pypy3 not found on PATH; skipping the PyPy lane", file=sys.stderr)
-        return
+        return {"status": "skipped", "reason": "pypy3 not found on PATH"}
     out = f"{args.out}.pypy.json"
     command = [
         pypy,
@@ -405,6 +429,7 @@ def _run_pypy_lane(args: argparse.Namespace) -> None:
         "--target-packets", str(args.target_packets),
         "--backend", args.backend,
         "--batching", args.batching,
+        "--no-fleet",
         "--out", out,
     ]
     print(f"running PyPy lane -> {out} ...", file=sys.stderr)
@@ -414,6 +439,8 @@ def _run_pypy_lane(args: argparse.Namespace) -> None:
             f"PyPy lane failed with exit code {completed.returncode}",
             file=sys.stderr,
         )
+        return {"status": "failed", "exit_code": completed.returncode, "out": out}
+    return {"status": "ran", "out": out}
 
 
 def cmd_bench_smoke(args: argparse.Namespace) -> None:
@@ -522,6 +549,43 @@ def cmd_bench_smoke(args: argparse.Namespace) -> None:
             print(f"bench smoke: REGRESSION {failure}", file=sys.stderr)
         raise SystemExit(2)
     print("bench smoke: no hot-path regression vs " + args.baseline)
+    # Fleet gate: one devices × workers cell against the committed
+    # fleet section. Pre-fleet baselines have no such section and the
+    # gate degrades to a note rather than a failure.
+    if not baseline.get("fleet"):
+        print("bench smoke: baseline has no fleet section; skipping the fleet gate")
+        return
+    print(
+        f"bench smoke: gating fleet devices={args.gate_fleet_devices} "
+        f"workers={args.gate_fleet_workers} ...",
+        file=sys.stderr,
+    )
+    best_fleet = None
+    for _attempt in range(2):
+        cell = run_fleet_cell(
+            args.gate_fleet_devices,
+            args.gate_fleet_workers,
+            seed=baseline.get("seed", 0),
+        )
+        if (
+            best_fleet is None
+            or cell["packets_per_sec"] > best_fleet["packets_per_sec"]
+        ):
+            best_fleet = cell
+        failures = check_fleet_regression(
+            {"fleet": [best_fleet]},
+            baseline,
+            devices=args.gate_fleet_devices,
+            workers=args.gate_fleet_workers,
+            load_factor=load_factor,
+        )
+        if not failures:
+            break
+    if failures:
+        for failure in failures:
+            print(f"bench smoke: REGRESSION {failure}", file=sys.stderr)
+        raise SystemExit(2)
+    print("bench smoke: no fleet regression vs " + args.baseline)
 
 
 def cmd_bench_obs(args: argparse.Namespace) -> None:
@@ -633,6 +697,86 @@ def cmd_obs(args: argparse.Namespace) -> None:
             title=f"== obs: {scenario.name} ({len(snapshots.snapshots)} snapshots) ==",
         )
     )
+
+
+def cmd_fleet(args: argparse.Namespace) -> None:
+    """Simulate a sharded fleet of devices and print the merged report.
+
+    Each of ``--devices`` devices runs an independent engine + miDRR
+    scheduler with a seed derived from ``(--seed, device_id)``;
+    ``--workers`` OS processes consume the shards (``--executor
+    serial`` keeps everything in-process for debugging). The merged
+    fleet report — population delay percentiles, per-interface
+    utilization, the Jain fairness proxy and a determinism hash —
+    prints as a table and optionally lands in ``--report`` (JSON) and
+    ``--shard-log`` (per-shard JSONL payloads).
+    """
+    workload = DeviceWorkload(
+        kind=args.workload,
+        duration=args.duration,
+        num_interfaces=args.interfaces,
+        num_flows=args.flows,
+    )
+    batching = {"off": False, "on": True, "auto": "auto"}[args.batching]
+    report = run_fleet(
+        args.devices,
+        workload,
+        fleet_seed=args.seed,
+        workers=args.workers,
+        shards=args.shards,
+        executor=args.executor,
+        backend=args.backend,
+        batching=batching,
+        report_path=args.report,
+        shard_log_path=args.shard_log,
+        progress=lambda done, total: print(
+            f"fleet: {done}/{total} shard(s) done", file=sys.stderr
+        ),
+    )
+    totals = report["totals"]
+    run_info = report["run"]
+    delay = report["delay"]
+    rows = [
+        ["devices", f"{report['fleet']['devices']:,}"],
+        ["workload", workload.kind],
+        ["executor", run_info["executor"]],
+        ["workers", run_info["workers"]],
+        ["shards", run_info["shards"]],
+        ["batching", "on" if report["fleet"]["batching"] else "off"],
+        ["packets", f"{totals['packets']:,}"],
+        ["drops", f"{totals['drops']:,}"],
+        ["flows done", f"{totals['flows_completed']:,}/{totals['flows']:,}"],
+        ["wall", f"{run_info['wall_seconds']:.2f} s"],
+        ["packets/s", f"{run_info['packets_per_sec']:,.0f}"],
+        ["devices/s", f"{run_info['devices_per_sec']:,.1f}"],
+    ]
+    if delay["count"]:
+        rows.extend(
+            [
+                ["delay p50", f"{delay['p50'] * 1000:.2f} ms"],
+                ["delay p95", f"{delay['p95'] * 1000:.2f} ms"],
+                ["delay p99", f"{delay['p99'] * 1000:.2f} ms"],
+            ]
+        )
+    for interface_id, info in sorted(report["interfaces"].items()):
+        rows.append(
+            [f"{interface_id} util", f"{info['utilization']:.1%}"]
+        )
+    if report["fairness"]["jain_index"] is not None:
+        rows.append(["jain index", f"{report['fairness']['jain_index']:.3f}"])
+    rows.append(["report hash", report["report_hash"][:16] + "..."])
+    _print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"== fleet: {report['fleet']['devices']} device(s), "
+            f"seed {report['fleet']['fleet_seed']} ==",
+        )
+    )
+    if args.report:
+        print(f"wrote fleet report to {args.report}")
+    if args.shard_log:
+        print(f"wrote shard payloads to {args.shard_log}")
 
 
 SCHEDULER_CHOICES = {
@@ -835,13 +979,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     core.add_argument(
         "--batching",
-        choices=["off", "on", "both"],
+        choices=["off", "on", "auto", "both"],
         default="both",
-        help="fused service quanta sweep (default: both)",
+        help="fused service quanta sweep; 'auto' calibrates per cell "
+        "and records the choice (default: both)",
     )
     core.add_argument(
         "--pypy", action="store_true",
-        help="also run the grid under pypy3 (skipped if not installed)",
+        help="also run the grid under pypy3 (outcome recorded in the "
+        "document's 'pypy' key, including skips)",
+    )
+    core.add_argument(
+        "--fleet-devices",
+        default=",".join(str(count) for count in DEFAULT_FLEET_DEVICES),
+        metavar="D1,D2,...",
+        help="device counts for the fleet scaling section",
+    )
+    core.add_argument(
+        "--fleet-workers",
+        default=",".join(str(count) for count in DEFAULT_FLEET_WORKERS),
+        metavar="W1,W2,...",
+        help="worker counts for the fleet scaling section",
+    )
+    core.add_argument(
+        "--no-fleet", action="store_true",
+        help="skip the fleet scaling section",
     )
     core.set_defaults(func=cmd_bench_core)
     smoke = bench_sub.add_parser(
@@ -856,6 +1018,10 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--baseline", default="BENCH_core.json")
     smoke.add_argument("--gate-flows", type=int, default=1000)
     smoke.add_argument("--gate-interfaces", type=int, default=8)
+    smoke.add_argument(
+        "--gate-fleet-devices", type=int, default=DEFAULT_FLEET_DEVICES[0]
+    )
+    smoke.add_argument("--gate-fleet-workers", type=int, default=1)
     smoke.set_defaults(func=cmd_bench_smoke)
     obs_bench = bench_sub.add_parser(
         "obs", help="metrics-overhead comparison (bare vs instrumented)"
@@ -876,6 +1042,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when overhead exceeds the budget",
     )
     obs_bench.set_defaults(func=cmd_bench_obs)
+
+    p = sub.add_parser(
+        "fleet", help="sharded multi-device fleet simulation + merged report"
+    )
+    p.add_argument("--devices", type=int, default=1000)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", help="write the merged fleet report JSON here")
+    p.add_argument(
+        "--shard-log", help="write per-shard result payloads as JSONL here"
+    )
+    p.add_argument(
+        "--executor", choices=list(EXECUTORS), default="process",
+        help="'serial' runs every shard in-process (debugging/tests)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count override (default: automatic, workers-independent)",
+    )
+    p.add_argument(
+        "--workload", choices=list(WORKLOAD_KINDS), default="smartphone"
+    )
+    p.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated seconds per device",
+    )
+    p.add_argument("--interfaces", type=int, default=2)
+    p.add_argument(
+        "--flows", type=int, default=8,
+        help="flows per device (bulk workload only)",
+    )
+    p.add_argument(
+        "--backend", choices=list(QUEUE_BACKENDS) + ["auto"], default="heap"
+    )
+    p.add_argument(
+        "--batching", choices=["off", "on", "auto"], default="off",
+        help="'auto' calibrates once at the coordinator and applies the "
+        "same choice to every device",
+    )
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "obs", help="instrumented run with JSONL snapshots + final report"

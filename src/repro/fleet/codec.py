@@ -1,0 +1,105 @@
+"""Wire format for shard result payloads.
+
+A shard payload is the unit that crosses the worker → coordinator
+boundary. The executor transports it as a plain dict (pickle for the
+process pool, a direct reference for the serial executor), but the
+*contract* is JSON: :func:`encode_shard` produces the canonical
+compact line that lands in the optional per-shard JSONL stream, and
+:func:`validate_shard` enforces the schema on receipt so a
+misbehaving worker fails loudly at the coordinator instead of
+corrupting the merged report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+
+#: Version stamped into every shard payload.
+PAYLOAD_SCHEMA_VERSION = 1
+
+#: Required keys of a shard payload / a device summary inside it.
+_SHARD_KEYS = ("schema_version", "shard_id", "devices", "registry", "wall_seconds")
+_DEVICE_KEYS = (
+    "device_id",
+    "seed",
+    "flows",
+    "flows_completed",
+    "packets",
+    "bytes",
+    "events",
+    "drops",
+    "trace_sha256",
+)
+
+
+def validate_shard(payload: Dict[str, object]) -> Dict[str, object]:
+    """Check a shard payload's shape; returns it for chaining."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"shard payload must be a dict, got {type(payload).__name__}"
+        )
+    missing = [key for key in _SHARD_KEYS if key not in payload]
+    if missing:
+        raise ConfigurationError(f"shard payload missing keys {missing}")
+    version = payload["schema_version"]
+    if not isinstance(version, int) or version > PAYLOAD_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"shard payload schema {version!r} is newer than this build "
+            f"understands (max {PAYLOAD_SCHEMA_VERSION})"
+        )
+    if not isinstance(payload["devices"], list):
+        raise ConfigurationError("shard payload 'devices' must be a list")
+    for summary in payload["devices"]:
+        if not isinstance(summary, dict):
+            raise ConfigurationError("device summary must be a dict")
+        absent = [key for key in _DEVICE_KEYS if key not in summary]
+        if absent:
+            raise ConfigurationError(
+                f"device summary {summary.get('device_id')!r} "
+                f"missing keys {absent}"
+            )
+    if not isinstance(payload["registry"], dict):
+        raise ConfigurationError("shard payload 'registry' must be a dict")
+    return payload
+
+
+def encode_shard(payload: Dict[str, object]) -> str:
+    """Canonical compact JSON line for one shard payload."""
+    validate_shard(payload)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def decode_shard(line: str) -> Dict[str, object]:
+    """Parse and validate one shard payload line."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid shard payload line: {exc}") from exc
+    return validate_shard(payload)
+
+
+def write_shard_jsonl(path: str, payloads: List[Dict[str, object]]) -> int:
+    """Write shard payloads one-per-line; returns the line count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for payload in payloads:
+            handle.write(encode_shard(payload))
+            handle.write("\n")
+    return len(payloads)
+
+
+def read_shard_jsonl(path: str) -> List[Dict[str, object]]:
+    """Read back a per-shard JSONL stream written by the coordinator."""
+    payloads: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payloads.append(decode_shard(line))
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"{path}:{line_number}: {exc}") from exc
+    return payloads

@@ -1,0 +1,170 @@
+"""Simulate one fleet device and summarize it as a mergeable payload.
+
+:func:`run_device` is the unit of work the whole fleet decomposes
+into: build the device's scenario from the shared workload spec, run
+it under miDRR, and distil the result into
+
+* a compact JSON-safe **summary** (packets, bytes, events, drops, flow
+  counts, and a ``trace_sha256`` fingerprint of the full service
+  trace), and
+* a per-device :class:`~repro.obs.metrics.MetricsRegistry` **state**
+  holding the mergeable telemetry — counters, the delay
+  :class:`~repro.obs.metrics.QuantileSketch`, per-interface service,
+  and the Jain-index accumulators (Σx, Σx², n) — which shard workers
+  fold together with ``MetricsRegistry.merge_state`` and ship to the
+  coordinator.
+
+Everything here runs on the virtual clock: no wall-clock value enters
+the payload, so the same ``(device_id, seed, workload, backend,
+batching)`` tuple produces a byte-identical payload on every run and
+every machine. That is the property the fleet's standalone-replay
+test pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, Optional
+
+from ..core.runner import run_scenario
+from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
+from ..schedulers.base import MultiInterfaceScheduler
+from ..schedulers.midrr import MiDrrScheduler
+from ..trace.fleet_workloads import DeviceWorkload, build_device_scenario
+
+#: Metric names the fleet pipeline aggregates. Shared between devices,
+#: shards and the coordinator so merge lands on the same registry keys.
+DELAY_SKETCH = "fleet.delay_seconds"
+DEVICES_TOTAL = "fleet.devices_total"
+PACKETS_TOTAL = "fleet.packets_total"
+BYTES_TOTAL = "fleet.bytes_total"
+EVENTS_TOTAL = "fleet.events_total"
+DROPS_TOTAL = "fleet.drops_total"
+FLOWS_TOTAL = "fleet.flows_total"
+FLOWS_COMPLETED_TOTAL = "fleet.flows_completed_total"
+FAIRNESS_SUM_RATE = "fleet.fairness.sum_rate"
+FAIRNESS_SUM_RATE_SQ = "fleet.fairness.sum_rate_sq"
+FAIRNESS_FLOWS = "fleet.fairness.flows"
+
+
+def interface_bytes_metric(interface_id: str) -> str:
+    """Registry name for one interface's fleet-wide byte counter."""
+    return f"fleet.interface.{interface_id}.bytes_total"
+
+
+def interface_packets_metric(interface_id: str) -> str:
+    """Registry name for one interface's fleet-wide packet counter."""
+    return f"fleet.interface.{interface_id}.packets_total"
+
+
+def trace_fingerprint(samples) -> str:
+    """SHA-256 over the canonical JSON of the full service trace.
+
+    Each :class:`~repro.net.sink.ServiceSample` contributes
+    ``[time, flow_id, interface_id, size_bytes, delay]``; JSON float
+    formatting is the shortest-round-trip repr, identical across
+    platforms for IEEE doubles, so equal traces — and only equal
+    traces — produce equal fingerprints.
+    """
+    canonical = json.dumps(
+        [
+            [s.time, s.flow_id, s.interface_id, s.size_bytes, s.delay]
+            for s in samples
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_device(
+    device_id: str,
+    seed: int,
+    workload: DeviceWorkload,
+    backend: str = "heap",
+    batching: bool = False,
+    scheduler_factory: Optional[Callable[[], MultiInterfaceScheduler]] = None,
+) -> Dict[str, object]:
+    """Simulate one device; return its summary + registry payload.
+
+    *batching* must already be a concrete bool: the ``"auto"``
+    calibration is wall-clock-dependent, so the coordinator resolves
+    it exactly once and every device — fleet-run or standalone replay
+    — receives the same resolved value. Accepting ``"auto"`` here
+    would let two replays of the same device disagree on event counts.
+    """
+    if not isinstance(batching, bool):
+        raise ConfigurationError(
+            f"run_device needs a resolved bool batching, got {batching!r}; "
+            f"the coordinator resolves 'auto' before devices run"
+        )
+    scenario = build_device_scenario(workload, device_id, seed)
+    result = run_scenario(
+        scenario,
+        scheduler_factory if scheduler_factory is not None else MiDrrScheduler,
+        queue_backend=backend,
+        batching=batching,
+    )
+    stats = result.stats
+    samples = stats.samples
+    packets = len(samples)
+    bytes_total = sum(sample.size_bytes for sample in samples)
+    drops = sum(stats.drops_by_flow().values())
+
+    registry = MetricsRegistry()
+    registry.counter(DEVICES_TOTAL).inc(1)
+    registry.counter(PACKETS_TOTAL).inc(packets)
+    registry.counter(BYTES_TOTAL).inc(bytes_total)
+    registry.counter(EVENTS_TOTAL).inc(result.sim.events_processed)
+    registry.counter(DROPS_TOTAL).inc(drops)
+    registry.counter(FLOWS_TOTAL).inc(len(scenario.flows))
+    registry.counter(FLOWS_COMPLETED_TOTAL).inc(len(result.completions))
+
+    delay_sketch = registry.sketch(DELAY_SKETCH)
+    for sample in samples:
+        if sample.delay is not None:
+            delay_sketch.observe(sample.delay)
+
+    for spec in scenario.interfaces:
+        registry.counter(interface_bytes_metric(spec.interface_id)).inc(
+            stats.interface_bytes(spec.interface_id)
+        )
+    interface_packets: Dict[str, int] = {}
+    for sample in samples:
+        interface_packets[sample.interface_id] = (
+            interface_packets.get(sample.interface_id, 0) + 1
+        )
+    for spec in scenario.interfaces:
+        registry.counter(interface_packets_metric(spec.interface_id)).inc(
+            interface_packets.get(spec.interface_id, 0)
+        )
+
+    # Jain-index accumulators over weight-normalized per-flow rates:
+    # x_f = (bytes·8 / duration) / φ_f. Keeping only (Σx, Σx², n) makes
+    # the fairness proxy mergeable without per-flow state.
+    if scenario.flows:
+        sum_rate = registry.counter(FAIRNESS_SUM_RATE)
+        sum_rate_sq = registry.counter(FAIRNESS_SUM_RATE_SQ)
+        flows_counter = registry.counter(FAIRNESS_FLOWS)
+        for spec in scenario.flows:
+            rate = (
+                stats.bytes_sent(spec.flow_id) * 8 / scenario.duration
+            ) / spec.weight
+            sum_rate.inc(rate)
+            sum_rate_sq.inc(rate * rate)
+            flows_counter.inc(1)
+
+    return {
+        "device_id": device_id,
+        "seed": seed,
+        "flows": len(scenario.flows),
+        "flows_completed": len(result.completions),
+        "packets": packets,
+        "bytes": bytes_total,
+        "events": result.sim.events_processed,
+        "drops": drops,
+        "trace_sha256": trace_fingerprint(samples),
+        "registry": registry.snapshot_state(),
+    }

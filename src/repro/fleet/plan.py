@@ -1,0 +1,116 @@
+"""Shard planning and deterministic per-device seed derivation.
+
+The planner answers two questions for a fleet run of *N* devices:
+
+* **Which device is which?** Device ids are ``d0 .. d{N-1}``, and each
+  device's simulation seed is :func:`derive_seed` of the fleet seed and
+  the device id — the same SHA-256 construction the simulator uses for
+  named substreams, so a device's entire behaviour is a pure function
+  of ``(fleet_seed, device_id)`` and any device can be re-run
+  standalone, byte-identically, without the rest of the fleet.
+
+* **Who simulates it?** Devices are split into contiguous, balanced
+  shards. The shard count is deliberately a function of the *device
+  count only* — never of the worker count: shard payloads carry
+  floating-point aggregates (delay sums, fairness rate sums) and float
+  addition is not associative, so a workers-dependent grouping would
+  make the merged fleet report differ in the last bits between
+  ``--workers 1`` and ``--workers 4``. With a fixed grouping the
+  coordinator merges shard results in shard-id order and the report —
+  and its hash — is identical no matter how many workers consumed the
+  shards or which executor ran them. Overriding the shard count
+  explicitly is supported but forfeits that cross-run hash stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.randomness import derive_seed
+
+#: Upper bound on the automatic shard count. 32 shards keep payload
+#: overhead negligible while load-balancing any plausible worker pool
+#: on this container class.
+DEFAULT_MAX_SHARDS = 32
+
+
+def device_ids(devices: int) -> List[str]:
+    """Canonical device ids for a fleet of *devices* devices."""
+    if devices < 1:
+        raise ConfigurationError(f"devices must be ≥ 1, got {devices}")
+    return [f"d{index}" for index in range(devices)]
+
+
+def device_seed(fleet_seed: int, device_id: str) -> int:
+    """The deterministic simulation seed for one device.
+
+    Stable across platforms and Python builds (SHA-256 based, see
+    :func:`repro.sim.randomness.derive_seed`), so it is part of the
+    fleet's reproducibility contract: publish ``(fleet_seed,
+    device_id)`` and anyone can replay the device.
+    """
+    return derive_seed(fleet_seed, f"device:{device_id}")
+
+
+def default_shard_count(devices: int) -> int:
+    """Automatic shard count: workers-independent by design."""
+    if devices < 1:
+        raise ConfigurationError(f"devices must be ≥ 1, got {devices}")
+    return min(devices, DEFAULT_MAX_SHARDS)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the fleet, simulated by one worker call."""
+
+    shard_id: int
+    device_ids: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise ConfigurationError(f"shard_id must be ≥ 0, got {self.shard_id}")
+        if not self.device_ids:
+            raise ConfigurationError("a shard must hold at least one device")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full device → shard assignment for one fleet run."""
+
+    devices: int
+    shards: Tuple[Shard, ...]
+
+    def device_order(self) -> List[str]:
+        """Every device id in canonical (index) order."""
+        ordered: List[str] = []
+        for shard in self.shards:
+            ordered.extend(shard.device_ids)
+        return ordered
+
+
+def plan_shards(devices: int, num_shards: int = 0) -> ShardPlan:
+    """Split *devices* into contiguous balanced shards.
+
+    ``num_shards = 0`` (the default) selects
+    :func:`default_shard_count`. The first ``devices % num_shards``
+    shards receive one extra device; shard *k* always holds the same
+    devices for the same ``(devices, num_shards)`` pair.
+    """
+    ids = device_ids(devices)
+    if num_shards == 0:
+        num_shards = default_shard_count(devices)
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be ≥ 1, got {num_shards}")
+    num_shards = min(num_shards, devices)
+    base, extra = divmod(devices, num_shards)
+    shards: List[Shard] = []
+    cursor = 0
+    for shard_id in range(num_shards):
+        size = base + (1 if shard_id < extra else 0)
+        shards.append(
+            Shard(shard_id=shard_id, device_ids=tuple(ids[cursor : cursor + size]))
+        )
+        cursor += size
+    return ShardPlan(devices=devices, shards=tuple(shards))

@@ -197,6 +197,27 @@ class Histogram:
         if value > self._max:
             self._max = value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram.
+
+        Both histograms must share the same bucket bounds — merging is
+        then exact (per-bucket integer addition), which is what lets
+        per-shard occupancy/work distributions aggregate into fleet
+        totals without any re-binning error.
+        """
+        if other._bounds != self._bounds:
+            raise ConfigurationError(
+                f"cannot merge histograms with bounds {self._bounds} "
+                f"and {other._bounds}"
+            )
+        self._counts = [
+            mine + theirs for mine, theirs in zip(self._counts, other._counts)
+        ]
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
     def quantile(self, q: float) -> float:
         """Estimate the *q*-quantile by interpolating within a bucket."""
         if not 0 <= q <= 1:
@@ -523,4 +544,68 @@ class MetricsRegistry:
             else:
                 raise ConfigurationError(
                     f"metric snapshot {name!r} has unknown kind {kind!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot_state` into this one.
+
+        The fleet coordinator's primitive: every worker ships its shard
+        registry as the JSON-safe ``snapshot_state()`` payload and the
+        coordinator folds the shards into one fleet registry. Merge
+        semantics per kind:
+
+        * **counter** — totals add (packets sent on shard A plus shard
+          B is the fleet total).
+        * **gauge** — levels add; per-shard gauges are population
+          aggregates (backlog bytes, flow counts), so the fleet level
+          is their sum. Callback-backed gauges cannot be merged into
+          (they read live local state) and raise.
+        * **histogram** — exact per-bucket addition (same bounds
+          required).
+        * **sketch** — exact bucket-count addition (same growth
+          required); quantiles of the merged sketch equal quantiles of
+          a single sketch fed the union stream.
+
+        Merging is commutative and associative (the hypothesis suite
+        pins this), so shard arrival order never changes the fleet
+        report. Metrics absent here are created from the incoming
+        shape, exactly like :meth:`restore_state`.
+        """
+        for name, doc in state.items():
+            kind = doc["kind"]
+            if kind == "counter":
+                self.counter(name)._value += doc["value"]
+            elif kind == "gauge":
+                metric = self.gauge(name)
+                if metric.callback_backed:
+                    raise ConfigurationError(
+                        f"gauge {name!r} is callback-backed; cannot merge "
+                        "shard state into live local telemetry"
+                    )
+                metric._value += doc["value"]
+            elif kind == "histogram":
+                incoming = Histogram(name, doc["bounds"])
+                incoming._counts = list(doc["counts"])
+                incoming._count = doc["count"]
+                incoming._sum = doc["sum"]
+                incoming._min = doc["min"]
+                incoming._max = doc["max"]
+                self.histogram(name, doc["bounds"]).merge(incoming)
+            elif kind == "sketch":
+                incoming = QuantileSketch(name, growth=doc["growth"])
+                incoming._buckets = {
+                    int(key): count for key, count in doc["buckets"].items()
+                }
+                incoming._zero = doc["zero"]
+                incoming._count = doc["count"]
+                incoming._sum = doc["sum"]
+                incoming._min = doc["min"]
+                incoming._max = doc["max"]
+                self.sketch(name, growth=doc["growth"]).merge(incoming)
+            else:
+                raise ConfigurationError(
+                    f"metric state {name!r} has unknown kind {kind!r}"
                 )

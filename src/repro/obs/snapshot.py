@@ -28,12 +28,21 @@ from ..sim.process import PeriodicProcess
 from ..sim.simulator import Simulator
 from .metrics import MetricsRegistry
 
-#: Schema version stamped into every snapshot record.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: Schema version stamped into every snapshot record. Version 2 added
+#: the optional ``shard_id`` / ``device_id`` provenance labels so fleet
+#: snapshots stay attributable after cross-process merge; version-1
+#: records (no labels) remain readable.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 
 class SnapshotProcess:
-    """Samples a :class:`MetricsRegistry` periodically on the sim clock."""
+    """Samples a :class:`MetricsRegistry` periodically on the sim clock.
+
+    *shard_id* / *device_id*, when given, label every record this
+    process emits: a fleet run mixes snapshot streams from thousands of
+    devices across worker processes, and an unlabelled record would be
+    unattributable the moment two streams share a file.
+    """
 
     def __init__(
         self,
@@ -41,12 +50,16 @@ class SnapshotProcess:
         registry: MetricsRegistry,
         period: float = 1.0,
         pre_sample: Optional[List[Callable[[float], None]]] = None,
+        shard_id: Optional[int] = None,
+        device_id: Optional[str] = None,
     ) -> None:
         if period <= 0:
             raise ConfigurationError(f"period must be positive, got {period}")
         self._sim = sim
         self._registry = registry
         self._period = period
+        self._shard_id = shard_id
+        self._device_id = device_id
         self._pre_sample: List[Callable[[float], None]] = list(pre_sample or [])
         self._process = PeriodicProcess(sim, period, self._tick)
         self.snapshots: List[Dict[str, object]] = []
@@ -90,6 +103,10 @@ class SnapshotProcess:
             "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "metrics": self._registry.collect(),
         }
+        if self._shard_id is not None:
+            record["shard_id"] = self._shard_id
+        if self._device_id is not None:
+            record["device_id"] = self._device_id
         self.snapshots.append(record)
         self.telemetry_seconds += perf_counter() - started
         return record
@@ -112,7 +129,14 @@ def write_jsonl(path: str, snapshots: List[Dict[str, object]]) -> int:
 
 
 def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Read snapshot records written by :func:`write_jsonl`."""
+    """Read snapshot records written by :func:`write_jsonl`.
+
+    Accepts every schema up to :data:`SNAPSHOT_SCHEMA_VERSION`:
+    version-1 records simply carry no ``shard_id`` / ``device_id``
+    labels (readers must treat the labels as optional). A record from
+    a *newer* schema than this build understands is refused — its
+    semantics are unknown.
+    """
     records: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -128,6 +152,13 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
             if not isinstance(record, dict) or "metrics" not in record:
                 raise ConfigurationError(
                     f"{path}:{line_number}: not a snapshot record"
+                )
+            version = record.get("schema_version", 1)
+            if not isinstance(version, int) or version > SNAPSHOT_SCHEMA_VERSION:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: snapshot schema {version!r} is "
+                    f"newer than this build understands "
+                    f"(max {SNAPSHOT_SCHEMA_VERSION})"
                 )
             records.append(record)
     return records

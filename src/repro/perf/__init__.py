@@ -16,6 +16,7 @@ from .core_bench import (
     DEFAULT_INTERFACE_COUNTS,
     DEFAULT_TARGET_PACKETS,
     REGRESSION_THRESHOLD,
+    auto_select_batching,
     build_core_scenario,
     calibrate,
     check_regression,
@@ -25,6 +26,17 @@ from .core_bench import (
     run_core_bench,
     validate_bench_document,
     write_bench_document,
+)
+from .fleet_bench import (
+    DEFAULT_FLEET_DEVICES,
+    DEFAULT_FLEET_WORKERS,
+    DEFAULT_FLEET_WORKLOAD,
+    FLEET_REGRESSION_THRESHOLD,
+    check_fleet_regression,
+    find_fleet_cell,
+    run_fleet_bench,
+    run_fleet_cell,
+    validate_fleet_cells,
 )
 from .obs_bench import (
     DEFAULT_OVERHEAD_TARGET_PACKETS,
@@ -38,23 +50,33 @@ from .obs_bench import (
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_CONFIGS",
+    "DEFAULT_FLEET_DEVICES",
+    "DEFAULT_FLEET_WORKERS",
+    "DEFAULT_FLEET_WORKLOAD",
     "DEFAULT_FLOW_COUNTS",
     "DEFAULT_INTERFACE_COUNTS",
     "DEFAULT_OVERHEAD_TARGET_PACKETS",
     "DEFAULT_TARGET_PACKETS",
+    "FLEET_REGRESSION_THRESHOLD",
     "OVERHEAD_BUDGET",
     "OVERHEAD_NOISE_CEILING",
     "REGRESSION_THRESHOLD",
+    "auto_select_batching",
     "build_core_scenario",
     "calibrate",
+    "check_fleet_regression",
     "check_regression",
     "committed_baseline_cell",
     "find_cell",
+    "find_fleet_cell",
     "render_bench_table",
     "render_overhead_table",
     "run_cell",
     "run_core_bench",
+    "run_fleet_bench",
+    "run_fleet_cell",
     "run_metrics_overhead",
     "validate_bench_document",
+    "validate_fleet_cells",
     "write_bench_document",
 ]

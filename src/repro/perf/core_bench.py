@@ -45,7 +45,11 @@ from ..units import mbps
 #: Version stamp for the BENCH_core.json schema. Version 2 added the
 #: ``backend`` / ``batching`` cell dimensions (event-queue backend ×
 #: fused service quanta) and the top-level ``auto_backend`` field.
-BENCH_SCHEMA_VERSION = 2
+#: Version 3 added the ``fleet`` section (devices × workers scaling
+#: cells, see :mod:`repro.perf.fleet_bench`), the ``auto_batching``
+#: record of per-cell calibration choices, and the ``pypy`` lane
+#: status; documents from versions ≤ 2 remain valid.
+BENCH_SCHEMA_VERSION = 3
 
 #: The default grid: flow counts × interface counts.
 DEFAULT_FLOW_COUNTS = (10, 100, 1000)
@@ -96,9 +100,11 @@ DOCUMENT_KEYS = frozenset(
         "packet_size",
         "target_packets",
         "auto_backend",
+        "auto_batching",
         "calibration_seconds",
         "platform",
         "grid",
+        "fleet",
     }
 )
 
@@ -183,7 +189,7 @@ def run_cell(
     quantum_base: int = 1500,
     instrument: bool = False,
     backend: str = "heap",
-    batching: bool = False,
+    batching: object = False,
 ) -> Dict[str, object]:
     """Run one grid cell and return its measurement row.
 
@@ -200,7 +206,21 @@ def run_cell(
     counts are invariant across all four combinations (scheduling
     decisions are byte-identical — the equivalence tests pin this);
     event counts shrink under batching because that is the whole point.
+
+    ``batching="auto"`` resolves per cell via
+    :func:`auto_select_batching`; the cell then records the resolved
+    bool plus ``"batching_auto": true`` so bench output distinguishes a
+    calibrated choice from an explicit flag.
     """
+    batching_was_auto = batching == "auto"
+    if batching_was_auto:
+        batching = auto_select_batching(
+            num_flows, num_interfaces, backend=backend, seed=seed
+        )
+    elif not isinstance(batching, bool):
+        raise ConfigurationError(
+            f"batching must be a bool or 'auto', got {batching!r}"
+        )
     scenario = build_core_scenario(
         num_flows,
         num_interfaces,
@@ -261,7 +281,65 @@ def run_cell(
         cell["telemetry_seconds"] = round(
             captured["snapshots"].telemetry_seconds, 6
         )
+    if batching_was_auto:
+        cell["batching_auto"] = True
     return cell
+
+
+#: Per-(flows, interfaces, backend) cache of calibrated batching
+#: choices — the calibration is wall-clock (two timed micro-cells), so
+#: one process must resolve each coordinate exactly once and reuse the
+#: answer. Mirrors ``repro.sim.events._AUTO_BACKEND``.
+_AUTO_BATCHING: Dict[tuple, bool] = {}
+
+#: Packets per timed micro-cell during batching calibration: small
+#: enough to stay under ~100 ms per probe, large enough that the
+#: batched/unbatched gap dominates startup noise.
+AUTO_BATCHING_TARGET_PACKETS = 1000
+
+
+def auto_select_batching(
+    num_flows: int,
+    num_interfaces: int,
+    backend: str = "heap",
+    seed: int = 0,
+    target_packets: int = AUTO_BATCHING_TARGET_PACKETS,
+) -> bool:
+    """Calibrate whether batching wins for this cell shape, per process.
+
+    The committed baselines show batching is *not* universally faster
+    (F=10, I=2 heap loses ~20% packets/s batched), so a global flag is
+    the wrong default. This probe times one small unbatched and one
+    batched cell (best of two each, minimum — CPU timing noise is
+    one-sided) for the given ``(flows, interfaces, backend)`` shape and
+    returns the winner, caching the choice for the process lifetime.
+
+    Callers that need cross-process or cross-run determinism (the
+    fleet coordinator) must resolve this once and pass the concrete
+    bool downstream: the choice depends on wall-clock measurement and
+    may legitimately differ between hosts or runs.
+    """
+    key = (num_flows, num_interfaces, backend)
+    cached = _AUTO_BATCHING.get(key)
+    if cached is not None:
+        return cached
+    timings = {}
+    for batching in (False, True):
+        best = float("inf")
+        for _ in range(2):
+            cell = run_cell(
+                num_flows,
+                num_interfaces,
+                seed=seed,
+                target_packets=target_packets,
+                backend=backend,
+                batching=batching,
+            )
+            best = min(best, float(cell["wall_seconds"]))
+        timings[batching] = best
+    choice = timings[True] < timings[False]
+    _AUTO_BATCHING[key] = choice
+    return choice
 
 
 def run_core_bench(
@@ -273,15 +351,23 @@ def run_core_bench(
     quantum_base: int = 1500,
     progress: Optional[callable] = None,
     configs: Sequence = DEFAULT_CONFIGS,
+    fleet_device_counts: Sequence[int] = (),
+    fleet_worker_counts: Sequence[int] = (),
 ) -> Dict[str, object]:
     """Run the full grid and return the BENCH_core document.
 
     *configs* is the (backend, batching) sweep each (F, I) cell runs
     under — :data:`DEFAULT_CONFIGS` covers the full 2×2 matrix so the
     committed baseline lets any configuration be compared against any
-    other. ``auto_backend`` records what the push/pop microbenchmark
-    (:func:`repro.sim.events.auto_select_backend`) picks on this
-    machine.
+    other; a config may use ``batching="auto"`` to take the calibrated
+    per-cell choice. ``auto_backend`` records what the push/pop
+    microbenchmark (:func:`repro.sim.events.auto_select_backend`)
+    picks on this machine; ``auto_batching`` records every calibrated
+    batching resolution made while building the document.
+
+    When both *fleet_device_counts* and *fleet_worker_counts* are
+    non-empty, the document's ``fleet`` section carries the devices ×
+    workers scaling grid from :func:`repro.perf.fleet_bench.run_fleet_bench`.
     """
     grid: List[Dict[str, object]] = []
     for num_flows in flow_counts:
@@ -304,6 +390,25 @@ def run_core_bench(
                         batching=batching,
                     )
                 )
+    auto_batching = {
+        f"F{cell['flows']}xI{cell['interfaces']}:{cell['backend']}": cell[
+            "batching"
+        ]
+        for cell in grid
+        if cell.get("batching_auto")
+    }
+    fleet: List[Dict[str, object]] = []
+    if fleet_device_counts and fleet_worker_counts:
+        # Imported lazily: the fleet bench pulls in the whole fleet
+        # subsystem, which plain grid runs never need.
+        from .fleet_bench import run_fleet_bench
+
+        fleet = run_fleet_bench(
+            device_counts=fleet_device_counts,
+            worker_counts=fleet_worker_counts,
+            seed=seed,
+            progress=progress,
+        )
     return {
         "name": "core",
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -312,6 +417,7 @@ def run_core_bench(
         "packet_size": packet_size,
         "target_packets": target_packets,
         "auto_backend": auto_select_backend(),
+        "auto_batching": auto_batching,
         "calibration_seconds": round(calibrate(), 6),
         "platform": {
             "python": platform.python_version(),
@@ -319,6 +425,7 @@ def run_core_bench(
             "machine": platform.machine(),
         },
         "grid": grid,
+        "fleet": fleet,
     }
 
 
@@ -332,13 +439,18 @@ def validate_bench_document(document: Dict[str, object]) -> List[str]:
     problems: List[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
-    # Schema 1 predates the backend/batching dimensions; its documents
-    # (the committed pre-optimisation baseline) stay valid and read as
-    # an implicit (heap, unbatched) sweep.
-    legacy = document.get("schema_version") == 1
+    # Older schemas stay valid: schema 1 predates the backend/batching
+    # dimensions (its documents read as an implicit (heap, unbatched)
+    # sweep); schemas ≤ 2 predate the fleet section and the
+    # auto-batching record.
+    version = document.get("schema_version")
+    legacy = version == 1
+    pre_fleet = isinstance(version, int) and version <= 2
     required_doc = DOCUMENT_KEYS - (
         {"auto_backend", "calibration_seconds"} if legacy else set()
     )
+    if pre_fleet:
+        required_doc = required_doc - {"auto_batching", "fleet"}
     required_cell = CELL_KEYS - ({"backend", "batching"} if legacy else set())
     missing = required_doc - set(document)
     if missing:
@@ -376,6 +488,11 @@ def validate_bench_document(document: Dict[str, object]) -> List[str]:
             problems.append(f"grid[{index}] has zero throughput")
         if cell["decisions"] <= 0:
             problems.append(f"grid[{index}] made no scheduling decisions")
+    fleet = document.get("fleet")
+    if fleet is not None:
+        from .fleet_bench import validate_fleet_cells
+
+        problems.extend(validate_fleet_cells(fleet))
     return problems
 
 

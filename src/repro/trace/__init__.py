@@ -1,6 +1,11 @@
-"""Smartphone workload model and concurrency analysis (Figure 7)."""
+"""Smartphone workload model, concurrency analysis, fleet workloads."""
 
 from .concurrency import ConcurrencyStats, concurrency_stats
+from .fleet_workloads import (
+    WORKLOAD_KINDS,
+    DeviceWorkload,
+    build_device_scenario,
+)
 from .smartphone import (
     DEFAULT_APPS,
     WEEK_SECONDS,
@@ -15,8 +20,11 @@ __all__ = [
     "ConcurrencyStats",
     "DEFAULT_APPS",
     "DeviceTraceConfig",
+    "DeviceWorkload",
     "FlowInterval",
     "SmartphoneTraceGenerator",
     "WEEK_SECONDS",
+    "WORKLOAD_KINDS",
+    "build_device_scenario",
     "concurrency_stats",
 ]

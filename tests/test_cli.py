@@ -173,11 +173,14 @@ class TestObsCommand:
         assert "engine.packets_sent_total" in stdout
         assert "health.ticks" in stdout
 
-        from repro.obs import read_jsonl
+        from repro.obs import SNAPSHOT_SCHEMA_VERSION, read_jsonl
 
         records = read_jsonl(str(out))
         assert records
-        assert all(record["schema_version"] == 1 for record in records)
+        assert all(
+            record["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+            for record in records
+        )
 
     def test_obs_run_from_scenario_file(self, capsys, tmp_path):
         import json

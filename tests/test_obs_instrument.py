@@ -12,6 +12,7 @@ from repro.core.runner import run_scenario
 from repro.errors import ConfigurationError
 from repro.health.watchdog import Watchdog
 from repro.obs import (
+    SNAPSHOT_SCHEMA_VERSION,
     MetricsRegistry,
     SnapshotProcess,
     instrument_engine,
@@ -169,7 +170,8 @@ class TestSnapshotProcess:
             range(5)
         )
         assert all(
-            record["schema_version"] == 1 for record in snapshots.snapshots
+            record["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+            for record in snapshots.snapshots
         )
 
     def test_invalid_period(self):

@@ -1,0 +1,242 @@
+"""Property tests for the mergeable-telemetry algebra.
+
+The fleet coordinator's correctness rests on one claim: folding shard
+registries together is *exact* — commutative, associative, and
+indistinguishable from having fed every observation to a single
+registry. These tests pin that claim with hypothesis.
+
+Observations are drawn as dyadic rationals (``n / 1024``) so float
+addition is exact and state comparisons can demand strict equality
+instead of tolerances — any drift the merge path introduced would be a
+real bug, not rounding noise.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import Histogram, MetricsRegistry, QuantileSketch
+
+#: Positive dyadic rationals: exact under float addition in any order.
+values = st.integers(min_value=1, max_value=2**20).map(lambda n: n / 1024)
+#: Same, but zero/negative included to exercise the sketch zero bucket.
+signed_values = st.integers(min_value=-(2**10), max_value=2**20).map(
+    lambda n: n / 1024
+)
+streams = st.lists(signed_values, max_size=40)
+
+HIST_BOUNDS = (1.0, 10.0, 100.0, 1000.0)
+
+RELAXED = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+def sketch_of(stream, name="s"):
+    sketch = QuantileSketch(name)
+    for value in stream:
+        sketch.observe(value)
+    return sketch
+
+
+def sketch_state(sketch):
+    return (
+        sketch.count,
+        sketch.sum,
+        sketch._zero,
+        sketch._min,
+        sketch._max,
+        tuple(sorted(sketch._buckets.items())),
+    )
+
+
+class TestSketchMergeProperties:
+    @settings(RELAXED)
+    @given(streams, streams)
+    def test_commutative(self, a, b):
+        left, right = sketch_of(a), sketch_of(b)
+        left.merge(sketch_of(b))
+        right_first = sketch_of(b)
+        right_first.merge(sketch_of(a))
+        assert sketch_state(left) == sketch_state(right_first)
+
+    @settings(RELAXED)
+    @given(streams, streams, streams)
+    def test_associative(self, a, b, c):
+        # (a ⊕ b) ⊕ c
+        grouped_left = sketch_of(a)
+        grouped_left.merge(sketch_of(b))
+        grouped_left.merge(sketch_of(c))
+        # a ⊕ (b ⊕ c)
+        tail = sketch_of(b)
+        tail.merge(sketch_of(c))
+        grouped_right = sketch_of(a)
+        grouped_right.merge(tail)
+        assert sketch_state(grouped_left) == sketch_state(grouped_right)
+
+    @settings(RELAXED)
+    @given(streams, streams)
+    def test_merge_equals_single_stream(self, a, b):
+        merged = sketch_of(a)
+        merged.merge(sketch_of(b))
+        single = sketch_of(a + b)
+        assert sketch_state(merged) == sketch_state(single)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert merged.quantile(q) == single.quantile(q)
+
+    def test_growth_mismatch_rejected(self):
+        left = QuantileSketch("l", growth=1.05)
+        right = QuantileSketch("r", growth=1.2)
+        with pytest.raises(ConfigurationError):
+            left.merge(right)
+
+
+def histogram_of(stream, name="h"):
+    hist = Histogram(name, HIST_BOUNDS)
+    for value in stream:
+        hist.observe(value)
+    return hist
+
+
+def histogram_state(hist):
+    return (
+        hist.count,
+        hist.sum,
+        hist._min,
+        hist._max,
+        tuple(hist._counts),
+    )
+
+
+class TestHistogramMergeProperties:
+    @settings(RELAXED)
+    @given(streams, streams)
+    def test_commutative(self, a, b):
+        left = histogram_of(a)
+        left.merge(histogram_of(b))
+        right = histogram_of(b)
+        right.merge(histogram_of(a))
+        assert histogram_state(left) == histogram_state(right)
+
+    @settings(RELAXED)
+    @given(streams, streams)
+    def test_merge_equals_single_stream(self, a, b):
+        merged = histogram_of(a)
+        merged.merge(histogram_of(b))
+        assert histogram_state(merged) == histogram_state(histogram_of(a + b))
+
+    def test_bounds_mismatch_rejected(self):
+        left = Histogram("l", (1.0, 2.0))
+        right = Histogram("r", (1.0, 3.0))
+        with pytest.raises(ConfigurationError):
+            left.merge(right)
+
+
+def registry_of(counter_incs, gauge_levels, stream):
+    """A registry shaped like a shard's: counters, gauges, hist, sketch."""
+    registry = MetricsRegistry()
+    for amount in counter_incs:
+        registry.counter("packets").inc(amount)
+    for level in gauge_levels:
+        registry.gauge("backlog").set(level)
+    hist = registry.histogram("occupancy", HIST_BOUNDS)
+    sketch = registry.sketch("delay")
+    for value in stream:
+        hist.observe(value)
+        sketch.observe(value)
+    return registry
+
+
+registries = st.builds(
+    registry_of,
+    st.lists(values, max_size=8),
+    st.lists(values, max_size=4),
+    streams,
+)
+
+
+class TestRegistryMergeProperties:
+    @settings(RELAXED)
+    @given(registries, registries)
+    def test_commutative(self, r1, r2):
+        ab = MetricsRegistry()
+        ab.merge_state(r1.snapshot_state())
+        ab.merge_state(r2.snapshot_state())
+        ba = MetricsRegistry()
+        ba.merge_state(r2.snapshot_state())
+        ba.merge_state(r1.snapshot_state())
+        assert ab.snapshot_state() == ba.snapshot_state()
+
+    @settings(RELAXED)
+    @given(registries, registries, registries)
+    def test_associative(self, r1, r2, r3):
+        left = MetricsRegistry()
+        left.merge_state(r1.snapshot_state())
+        left.merge_state(r2.snapshot_state())
+        left.merge_state(r3.snapshot_state())
+
+        tail = MetricsRegistry()
+        tail.merge_state(r2.snapshot_state())
+        tail.merge_state(r3.snapshot_state())
+        right = MetricsRegistry()
+        right.merge_state(r1.snapshot_state())
+        right.merge_state(tail.snapshot_state())
+        assert left.snapshot_state() == right.snapshot_state()
+
+    @settings(RELAXED)
+    @given(
+        st.lists(st.lists(signed_values, max_size=20), min_size=1, max_size=5)
+    )
+    def test_merge_equals_single_stream(self, shards):
+        """N shard registries merged == one registry fed the union."""
+        fleet = MetricsRegistry()
+        for stream in shards:
+            shard = MetricsRegistry()
+            shard.counter("n").inc(len(stream))
+            sketch = shard.sketch("delay")
+            for value in stream:
+                sketch.observe(value)
+            fleet.merge_state(shard.snapshot_state())
+
+        reference = MetricsRegistry()
+        reference.counter("n").inc(sum(len(s) for s in shards))
+        ref_sketch = reference.sketch("delay")
+        for stream in shards:
+            for value in stream:
+                ref_sketch.observe(value)
+
+        assert fleet.snapshot_state() == reference.snapshot_state()
+        merged = fleet.get("delay")
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == ref_sketch.quantile(q)
+
+    def test_counters_and_gauges_add(self):
+        fleet = MetricsRegistry()
+        for amount in (3.0, 4.0):
+            shard = MetricsRegistry()
+            shard.counter("packets").inc(amount)
+            shard.gauge("backlog").set(amount)
+            fleet.merge_state(shard.snapshot_state())
+        assert fleet.get("packets").value == 7.0
+        assert fleet.get("backlog").value == 7.0
+
+    def test_callback_gauge_rejected(self):
+        fleet = MetricsRegistry()
+        fleet.gauge("live", fn=lambda: 42.0)
+        shard = MetricsRegistry()
+        shard.gauge("live").set(1.0)
+        with pytest.raises(ConfigurationError, match="callback-backed"):
+            fleet.merge_state(shard.snapshot_state())
+
+    def test_unknown_kind_rejected(self):
+        fleet = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            fleet.merge_state({"m": {"kind": "summary", "value": 1}})
+
+    def test_merge_creates_missing_metrics(self):
+        shard = MetricsRegistry()
+        shard.histogram("occupancy", HIST_BOUNDS).observe(5.0)
+        fleet = MetricsRegistry()
+        assert "occupancy" not in fleet
+        fleet.merge_state(shard.snapshot_state())
+        assert fleet.get("occupancy").count == 1

@@ -18,13 +18,18 @@ from repro.perf import (
     BENCH_SCHEMA_VERSION,
     OVERHEAD_BUDGET,
     OVERHEAD_NOISE_CEILING,
+    auto_select_batching,
     build_core_scenario,
+    check_fleet_regression,
     committed_baseline_cell,
     render_bench_table,
     render_overhead_table,
+    run_cell,
     run_core_bench,
+    run_fleet_cell,
     run_metrics_overhead,
     validate_bench_document,
+    validate_fleet_cells,
     write_bench_document,
 )
 
@@ -201,6 +206,73 @@ class TestMetricsOverhead:
         )
         assert exit_code == 0
         assert "bench obs" in capsys.readouterr().out
+
+
+class TestAutoBatching:
+    def test_auto_batching_cell_records_resolution(self):
+        """``batching="auto"`` lands in the cell as the resolved bool
+        plus the ``batching_auto`` flag, and the calibration is cached
+        per (flows, interfaces, backend) so replays stay stable."""
+        cell = run_cell(3, 2, target_packets=200, batching="auto")
+        assert isinstance(cell["batching"], bool)
+        assert cell["batching_auto"] is True
+        assert auto_select_batching(3, 2) == cell["batching"]
+        plain = run_cell(3, 2, target_packets=200, batching=False)
+        assert "batching_auto" not in plain
+
+    def test_run_cell_rejects_bad_batching(self):
+        with pytest.raises(ConfigurationError, match="batching"):
+            run_cell(3, 2, target_packets=200, batching="maybe")
+
+
+class TestFleetBench:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.trace import DeviceWorkload
+
+        return DeviceWorkload(
+            kind="bulk", duration=0.25, num_flows=4, num_interfaces=2
+        )
+
+    @pytest.fixture(scope="class")
+    def cell(self, workload):
+        return run_fleet_cell(2, 1, workload=workload, executor="serial")
+
+    def test_cell_shape(self, cell):
+        assert validate_fleet_cells([cell]) == []
+        assert cell["devices"] == 2 and cell["workers"] == 1
+        assert cell["packets"] > 0 and cell["packets_per_sec"] > 0
+
+    def test_hash_mismatch_across_workers_detected(self, cell):
+        """Two cells at the same device count must have simulated the
+        identical fleet; a hash drift is a determinism bug, not noise."""
+        other = dict(cell, workers=2, report_hash="0" * 64)
+        problems = validate_fleet_cells([cell, other])
+        assert any("report_hash differs" in problem for problem in problems)
+
+    def test_validation_reports_broken_cells(self, cell):
+        missing = {key: value for key, value in cell.items() if key != "packets"}
+        problems = validate_fleet_cells([missing, "nope"])
+        assert any("missing keys" in problem for problem in problems)
+        assert any("not an object" in problem for problem in problems)
+        assert validate_fleet_cells({}) == ["fleet must be a list"]
+
+    def test_regression_gate(self, cell):
+        current = {"fleet": [dict(cell, packets_per_sec=cell["packets_per_sec"] / 2)]}
+        baseline = {"fleet": [cell]}
+        failures = check_fleet_regression(current, baseline, 2, 1)
+        assert failures and "below the floor" in failures[0]
+        assert check_fleet_regression(baseline, baseline, 2, 1) == []
+        # A generous load factor forgives the same slowdown.
+        assert check_fleet_regression(
+            current, baseline, 2, 1, load_factor=4.0
+        ) == []
+
+    def test_regression_needs_comparable_cell(self, cell):
+        failures = check_fleet_regression({"fleet": [cell]}, {}, 2, 1)
+        assert failures and "no comparable fleet" in failures[0]
+        with pytest.raises(ConfigurationError):
+            check_fleet_regression({}, {}, 2, 1, threshold=1.5)
 
 
 @pytest.mark.bench

@@ -31,6 +31,7 @@ class TestExports:
             "repro.health",
             "repro.obs",
             "repro.perf",
+            "repro.fleet",
             "repro.trace",
             "repro.analysis",
             "repro.experiments",
