@@ -9,6 +9,15 @@ from .report import (
     render_series,
     render_table,
 )
+from .slo import (
+    DEFAULT_DEADLINE_BUDGETS,
+    SCHEDULER_FAMILY,
+    SloReport,
+    SloRow,
+    jain_index,
+    p99,
+    run_latency_slo,
+)
 from .timeseries import (
     Series,
     bin_events,
@@ -19,17 +28,24 @@ from .timeseries import (
 )
 
 __all__ = [
+    "DEFAULT_DEADLINE_BUDGETS",
     "EmpiricalCdf",
     "EwmaRateEstimator",
+    "SCHEDULER_FAMILY",
     "Series",
+    "SloReport",
+    "SloRow",
     "WindowedRateEstimator",
     "bin_events",
     "crossings",
+    "jain_index",
     "moving_average",
+    "p99",
     "render_comparison",
     "render_rate_table",
     "render_series",
     "render_table",
+    "run_latency_slo",
     "series_mean",
     "settle_time",
 ]

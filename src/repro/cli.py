@@ -11,6 +11,7 @@ Usage::
     midrr fct             # E13: completion times under churn
     midrr all             # every figure
     midrr chaos --seed 7 --duration 60        # seeded fault-injection run
+    midrr slo --seed 7 --duration 30          # scheduler-family latency-SLO table
     midrr fleet --devices 1000 --workers 4    # sharded fleet run + merged report
     midrr bench core                          # hot-path baseline -> BENCH_core.json
     midrr bench smoke --check-regression      # fast sanity + perf gate
@@ -32,6 +33,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from .analysis.report import render_comparison, render_rate_table, render_table
+from .analysis.slo import SCHEDULER_FAMILY, run_latency_slo
 from .core.runner import run_scenario
 from .core.scenario import Scenario
 from .errors import ReproError
@@ -79,8 +81,10 @@ from .recovery import (
     load_checkpoint,
     save_checkpoint,
 )
+from .schedulers.edf import EdfScheduler
 from .schedulers.midrr import MiDrrScheduler
 from .schedulers.per_interface import PerInterfaceScheduler, StaticSplitScheduler
+from .schedulers.qaware import QAwareScheduler
 from .fairness.waterfill import weighted_maxmin
 from .units import format_rate
 
@@ -341,6 +345,42 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(2)
 
 
+def cmd_slo(args: argparse.Namespace) -> None:
+    """Run the latency-SLO report across the scheduler family.
+
+    With ``--check-determinism`` the report is recomputed on the other
+    event-queue backend and the command exits 2 unless both hashes are
+    byte-identical — the family-wide decision-determinism gate.
+    """
+    schedulers = args.schedulers if args.schedulers else None
+    report = run_latency_slo(
+        seed=args.seed,
+        duration=args.duration,
+        schedulers=schedulers,
+        queue_backend=args.backend,
+        with_churn=not args.no_churn,
+    )
+    _print(report.to_text())
+    if not args.check_determinism:
+        return
+    other = "calendar" if args.backend == "heap" else "heap"
+    twin = run_latency_slo(
+        seed=args.seed,
+        duration=args.duration,
+        schedulers=schedulers,
+        queue_backend=other,
+        with_churn=not args.no_churn,
+    )
+    if twin.report_hash() != report.report_hash():
+        print(
+            f"error: SLO report hash diverges between {args.backend} and "
+            f"{other} backends",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    print(f"SLO report hash identical on {args.backend} and {other} backends")
+
+
 def _parse_counts(text: str, option: str) -> List[int]:
     try:
         counts = [int(part) for part in text.split(",") if part.strip()]
@@ -470,6 +510,24 @@ def cmd_bench_smoke(args: argparse.Namespace) -> None:
             print(f"bench smoke: {problem}", file=sys.stderr)
         raise SystemExit(2)
     print("bench smoke: miniature grid ok")
+    # Family-wide decision determinism: the latency-SLO report hashes
+    # every scheduler's deadline/fairness outcome, so one short run per
+    # backend proves the whole family makes identical decisions on both
+    # event-queue implementations.
+    family_hashes = {
+        backend: run_latency_slo(
+            seed=args.seed, duration=20.0, queue_backend=backend
+        ).report_hash()
+        for backend in ("heap", "calendar")
+    }
+    if len(set(family_hashes.values())) != 1:
+        print(
+            "bench smoke: scheduler-family SLO hash diverges across "
+            f"backends: {family_hashes}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    print("bench smoke: scheduler-family decisions identical on both backends")
     if not args.check_regression:
         return
     if os.environ.get("MIDRR_SKIP_BENCH_REGRESSION"):
@@ -782,9 +840,12 @@ def cmd_fleet(args: argparse.Namespace) -> None:
 SCHEDULER_CHOICES = {
     "midrr": MiDrrScheduler,
     "midrr-counter": lambda: MiDrrScheduler(exclusion="counter"),
+    "fifo": PerInterfaceScheduler.fifo,
     "wfq": PerInterfaceScheduler.wfq,
     "drr": PerInterfaceScheduler.drr,
     "static": StaticSplitScheduler,
+    "edf": EdfScheduler,
+    "qaware": QAwareScheduler,
 }
 
 
@@ -949,6 +1010,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-churn", action="store_true", help="disable weight churn"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "slo", help="latency-SLO report: scheduler family under chaos"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument(
+        "--backend",
+        choices=sorted(QUEUE_BACKENDS),
+        default="heap",
+        help="event-queue backend (default: heap)",
+    )
+    p.add_argument(
+        "--scheduler",
+        dest="schedulers",
+        action="append",
+        choices=sorted(SCHEDULER_FAMILY),
+        metavar="NAME",
+        help="restrict the family (repeatable; default: all of "
+        f"{', '.join(SCHEDULER_FAMILY)})",
+    )
+    p.add_argument("--no-churn", action="store_true")
+    p.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="re-run on the other backend and exit 2 unless the report "
+        "hashes are byte-identical",
+    )
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("bench", help="reproducible performance baselines")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)

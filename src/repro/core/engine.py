@@ -67,6 +67,21 @@ class SchedulingEngine:
         self._flows: Dict[str, Flow] = {}
         self._sources: Dict[str, ExhaustibleSource] = {}
         self._quarantined: Dict[str, Flow] = {}
+        # Flows turned away (or evicted) by the scheduler's admission
+        # controller. Like quarantine they stay registered — identity
+        # and backlog retained — but are never offered to the scheduler.
+        self._shed: Dict[str, Flow] = {}
+        self.admission_rejected_total = 0
+        self.admission_shed_total = 0
+        # Deadline-miss accounting: every transmitted packet carrying a
+        # deadline is scored against the clock at send completion.
+        self.deadline_packets_total = 0
+        self.deadline_misses_total = 0
+        self.deadline_misses_by_flow: Dict[str, int] = {}
+        self._deadline_listeners: List[
+            Callable[[Flow, Packet, float], None]
+        ] = []
+        self._admission_listeners: List[Callable[[object], None]] = []
         # Willing-interface index: flow_id -> ((prefs_version,
         # topology_version), willing Interface objects in registration
         # order). Mirrors the scheduler-side index so every hot kick /
@@ -130,6 +145,16 @@ class SchedulingEngine:
         """Quarantined flow count — O(1) (see :attr:`num_flows`)."""
         return len(self._quarantined)
 
+    @property
+    def shed_flows(self) -> Dict[str, Flow]:
+        """Flows currently excluded by admission control."""
+        return dict(self._shed)
+
+    @property
+    def num_shed(self) -> int:
+        """Admission-excluded flow count — O(1) (see :attr:`num_flows`)."""
+        return len(self._shed)
+
     def iter_flows(self) -> Iterable[Flow]:
         """A live, copy-free view of the active flows.
 
@@ -162,6 +187,12 @@ class SchedulingEngine:
         interface.on_sent(self._packet_sent)
         interface.on_state_change(self._interface_state_changed)
         interface.bind_batch_registry(self._scheduler.batched_flows)
+        # Capacity-aware schedulers (EDF admission control, QAware
+        # steering) read live interface rates through this optional
+        # hook; schedulers without it stay capacity-blind.
+        observe = getattr(self._scheduler, "observe_interface", None)
+        if observe is not None:
+            observe(interface)
         self.stats.watch(interface)
 
     def add_flow(self, flow: Flow, source: Optional[ExhaustibleSource] = None) -> None:
@@ -189,6 +220,17 @@ class SchedulingEngine:
             # of handing the scheduler a flow it can never serve.
             self._enter_quarantine(flow)
             return
+        review = getattr(self._scheduler, "review_admission", None)
+        if review is not None:
+            verdict = review(flow)
+            for listener in self._admission_listeners:
+                listener(verdict)
+            for shed_id in getattr(verdict, "shed", ()):
+                self._apply_shed(shed_id)
+            if not verdict.admitted:
+                self._shed[flow.flow_id] = flow
+                self.admission_rejected_total += 1
+                return
         self._scheduler.add_flow(flow)
         if flow.backlogged:
             self._scheduler.notify_backlogged(flow)
@@ -207,8 +249,9 @@ class SchedulingEngine:
         flow = self._flows.pop(flow_id, None)
         self._sources.pop(flow_id, None)
         self._quarantined.pop(flow_id, None)
+        was_shed = self._shed.pop(flow_id, None) is not None
         self._willing_cache.pop(flow_id, None)
-        if flow is not None:
+        if flow is not None and not was_shed:
             self._scheduler.remove_flow(flow_id)
 
     def on_flow_completed(self, listener: Callable[[Flow], None]) -> None:
@@ -222,6 +265,42 @@ class SchedulingEngine:
         Π-set went down) and ``False`` when it resumes.
         """
         self._quarantine_listeners.append(listener)
+
+    def on_deadline_miss(
+        self, listener: Callable[[Flow, Packet, float], None]
+    ) -> None:
+        """Register ``listener(flow, packet, lateness)`` for SLO misses.
+
+        Fired from send-completion accounting whenever a packet with a
+        deadline finishes transmission after it; ``lateness`` is the
+        overshoot in seconds. The obs layer feeds its p99 miss-latency
+        sketch from here.
+        """
+        self._deadline_listeners.append(listener)
+
+    def on_admission_verdict(self, listener: Callable[[object], None]) -> None:
+        """Register ``listener(verdict)`` for admission-control events.
+
+        Fired once per :meth:`add_flow` reviewed by a scheduler exposing
+        ``review_admission`` — whether the flow was admitted, rejected,
+        or its arrival forced existing flows to be shed.
+        """
+        self._admission_listeners.append(listener)
+
+    def _apply_shed(self, flow_id: str) -> None:
+        """Evict an admitted flow on the scheduler's shed verdict."""
+        flow = self._flows.get(flow_id)
+        if flow is None or flow_id in self._shed:
+            return
+        if flow_id in self._quarantined:
+            # Quarantined flows are already out of the scheduler; shed
+            # status supersedes quarantine so they stay excluded even
+            # when their Π-set comes back.
+            self._quarantined.pop(flow_id, None)
+        else:
+            self._scheduler.remove_flow(flow_id)
+        self._shed[flow_id] = flow
+        self.admission_shed_total += 1
 
     # ------------------------------------------------------------------
     # Graceful degradation under interface churn
@@ -273,7 +352,7 @@ class SchedulingEngine:
         interfaces that just became usable.
         """
         flow = self._flows.get(flow_id)
-        if flow is None:
+        if flow is None or flow_id in self._shed:
             return
         alive = self._any_willing_interface_up(flow)
         if flow_id in self._quarantined:
@@ -293,7 +372,7 @@ class SchedulingEngine:
                     self._resume_from_quarantine(flow)
             return
         for flow in list(self._flows.values()):
-            if flow.flow_id in self._quarantined:
+            if flow.flow_id in self._quarantined or flow.flow_id in self._shed:
                 continue
             if not self._any_willing_interface_up(flow):
                 self._enter_quarantine(flow)
@@ -395,6 +474,10 @@ class SchedulingEngine:
     def _packet_arrived(self, flow: Flow, packet: Packet) -> None:
         if flow.flow_id not in self._flows:
             return
+        if flow.flow_id in self._shed:
+            # Excluded by admission control: the backlog accrues (and
+            # may drop) but the scheduler never hears about it.
+            return
         if flow.flow_id in self._quarantined:
             # Parked: keep the backlog but wake nobody — every willing
             # interface is down anyway.
@@ -423,6 +506,16 @@ class SchedulingEngine:
         if flow is None:
             return
         flow.record_sent(packet)
+        deadline = packet.deadline
+        if deadline is not None:
+            self.deadline_packets_total += 1
+            if self._sim.now > deadline:
+                self.deadline_misses_total += 1
+                misses = self.deadline_misses_by_flow
+                misses[flow.flow_id] = misses.get(flow.flow_id, 0) + 1
+                lateness = self._sim.now - deadline
+                for listener in self._deadline_listeners:
+                    listener(flow, packet, lateness)
         source = self._sources.get(flow.flow_id)
         if (
             source is not None
@@ -469,6 +562,16 @@ class SchedulingEngine:
         return {
             "flow_order": list(self._flows),
             "quarantined": list(self._quarantined),
+            "shed": list(self._shed),
+            "admission": {
+                "rejected_total": self.admission_rejected_total,
+                "shed_total": self.admission_shed_total,
+            },
+            "deadline": {
+                "packets_total": self.deadline_packets_total,
+                "misses_total": self.deadline_misses_total,
+                "misses_by_flow": dict(self.deadline_misses_by_flow),
+            },
             "scheduler": self._scheduler.snapshot_state(),
             "stats": self.stats.snapshot_state(),
         }
@@ -500,6 +603,16 @@ class SchedulingEngine:
         self._quarantined = {
             flow_id: restored[flow_id] for flow_id in state["quarantined"]
         }
+        self._shed = {
+            flow_id: restored[flow_id] for flow_id in state.get("shed", [])
+        }
+        admission = state.get("admission", {})
+        self.admission_rejected_total = admission.get("rejected_total", 0)
+        self.admission_shed_total = admission.get("shed_total", 0)
+        deadline = state.get("deadline", {})
+        self.deadline_packets_total = deadline.get("packets_total", 0)
+        self.deadline_misses_total = deadline.get("misses_total", 0)
+        self.deadline_misses_by_flow = dict(deadline.get("misses_by_flow", {}))
         self._willing_cache.clear()
         self._scheduler.restore_state(state["scheduler"], restored)
         self.stats.restore_state(state["stats"])

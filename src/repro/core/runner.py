@@ -245,6 +245,8 @@ def run_scenario(
             flow_spec.flow_id,
             weight=flow_spec.weight,
             allowed_interfaces=flow_spec.interfaces,
+            deadline_budget=flow_spec.traffic.deadline,
+            nominal_rate_bps=flow_spec.traffic.rate_bps,
         )
         source = build_traffic(sim, flow_spec, flow, streams)
         if flow_spec.start_time <= 0:

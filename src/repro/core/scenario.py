@@ -31,6 +31,10 @@ class TrafficSpec:
     * ``"cbr"`` — constant bit rate at ``rate_bps``.
     * ``"poisson"`` — Poisson arrivals at ``rate_bps`` average load.
     * ``"onoff"`` — exponential on/off bursts at ``rate_bps`` peak.
+
+    ``deadline`` is an optional per-packet latency budget (seconds):
+    each packet must leave the system within ``deadline`` of its
+    arrival. ``None`` marks elastic traffic with no SLO.
     """
 
     kind: str = "bulk"
@@ -39,6 +43,7 @@ class TrafficSpec:
     packet_size: int = 1500
     mean_on: float = 1.0
     mean_off: float = 1.0
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TRAFFIC_KINDS:
@@ -54,6 +59,10 @@ class TrafficSpec:
         ):
             raise ConfigurationError(
                 f"traffic kind {self.kind!r} needs a positive rate_bps"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
             )
 
 
@@ -189,6 +198,7 @@ class Scenario:
                         "packet_size": spec.traffic.packet_size,
                         "mean_on": spec.traffic.mean_on,
                         "mean_off": spec.traffic.mean_off,
+                        "deadline": spec.traffic.deadline,
                     },
                 }
                 for spec in self.flows

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.engine import SchedulingEngine
 from ..errors import FaultError
@@ -213,18 +213,39 @@ class ChaosReport:
 
 
 class ChaosRun:
-    """A fully wired chaos scenario, ready to execute."""
+    """A fully wired chaos scenario, ready to execute.
 
-    def __init__(self, seed: int, duration: float, with_churn: bool = True) -> None:
+    *scheduler_factory* swaps the scheduler under the identical fault
+    workload (the latency-SLO report runs the whole family through it);
+    the miDRR invariant checker is only attached when the scheduler is
+    actually miDRR. *deadline_budgets* assigns per-packet latency SLOs
+    (seconds) to named flows, feeding the engine's deadline-miss
+    accounting. *queue_backend* selects the event-queue implementation,
+    which must be decision-preserving — the SLO report pins its hash
+    across backends on exactly that contract.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        duration: float,
+        with_churn: bool = True,
+        scheduler_factory: Optional[Callable[[], object]] = None,
+        deadline_budgets: Optional[Mapping[str, float]] = None,
+        queue_backend: str = "heap",
+    ) -> None:
         if duration < 20.0:
             # The fault window plus the settle/measure tail needs room.
             raise FaultError(f"chaos duration must be >= 20s, got {duration:g}")
         self.seed = seed
         self.duration = duration
-        self.sim = Simulator()
+        self.sim = Simulator(queue_backend=queue_backend)
         self.streams = RandomStreams(seed)
         self.timeline = FaultTimeline()
-        self.scheduler = MiDrrScheduler()
+        budgets = dict(deadline_budgets) if deadline_budgets else {}
+        self.scheduler = (
+            scheduler_factory() if scheduler_factory is not None else MiDrrScheduler()
+        )
         self.engine = SchedulingEngine(self.sim, self.scheduler)
         self.flows: Dict[str, Flow] = {}
         self.quarantine_spells: List[QuarantineSpell] = []
@@ -241,7 +262,12 @@ class ChaosRun:
         self.engine.on_quarantine_change(self._quarantine_changed)
 
         for flow_id, (weight, willing) in CHAOS_BULK_FLOWS.items():
-            flow = Flow(flow_id, weight=weight, allowed_interfaces=willing)
+            flow = Flow(
+                flow_id,
+                weight=weight,
+                allowed_interfaces=willing,
+                deadline_budget=budgets.get(flow_id),
+            )
             self.flows[flow_id] = flow
             BulkSource(self.sim, flow)
             self.engine.add_flow(flow)
@@ -253,6 +279,7 @@ class ChaosRun:
             allowed_interfaces=("cell",),
             max_queue_bytes=30_000,
             queue_policy="drop-head",
+            deadline_budget=budgets.get(WIRE_FLOW),
         )
         self.flows[WIRE_FLOW] = wire
         self.engine.add_flow(wire)
@@ -325,7 +352,11 @@ class ChaosRun:
         for interface in interfaces.values():
             self.sim.schedule(self.fault_end, interface.bring_up)
 
-        self.checker = MiDrrInvariantChecker(self.scheduler, engine=self.engine)
+        self.checker = (
+            MiDrrInvariantChecker(self.scheduler, engine=self.engine)
+            if isinstance(self.scheduler, MiDrrScheduler)
+            else None
+        )
         self.watchdog = Watchdog(
             self.sim,
             self.engine,
@@ -404,7 +435,9 @@ class ChaosRun:
             duration=self.duration,
             timeline=self.timeline,
             alerts=list(self.watchdog.alerts),
-            invariant_violations=list(self.checker.violations),
+            invariant_violations=(
+                list(self.checker.violations) if self.checker is not None else []
+            ),
             bytes_by_flow={
                 flow_id: stats.bytes_sent(flow_id) for flow_id in self.flows
             },

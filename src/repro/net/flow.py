@@ -26,6 +26,8 @@ class Flow:
         "weight",
         "_allowed",
         "prefs_version",
+        "deadline_budget",
+        "nominal_rate_bps",
         "queue",
         "bytes_sent",
         "packets_sent",
@@ -43,6 +45,8 @@ class Flow:
         allowed_interfaces: Optional[Iterable[str]] = None,
         max_queue_bytes: Optional[int] = None,
         queue_policy: str = "drop-tail",
+        deadline_budget: Optional[float] = None,
+        nominal_rate_bps: Optional[float] = None,
     ) -> None:
         if not flow_id:
             raise ConfigurationError("flow_id must be non-empty")
@@ -64,6 +68,22 @@ class Flow:
         # cache derived willing-interface lists and invalidate lazily
         # instead of re-testing willing_to_use() per decision.
         self.prefs_version = 0
+        if deadline_budget is not None and deadline_budget <= 0:
+            raise ConfigurationError(
+                f"flow {flow_id!r}: deadline_budget must be positive, "
+                f"got {deadline_budget}"
+            )
+        if nominal_rate_bps is not None and nominal_rate_bps <= 0:
+            raise ConfigurationError(
+                f"flow {flow_id!r}: nominal_rate_bps must be positive, "
+                f"got {nominal_rate_bps}"
+            )
+        # Per-packet latency SLO (seconds): packets offered without an
+        # explicit deadline get stamped ``created_at + deadline_budget``.
+        self.deadline_budget: Optional[float] = deadline_budget
+        # Declared demand (bits/s) for admission control; ``None`` marks
+        # an elastic flow that admission controllers count as zero load.
+        self.nominal_rate_bps: Optional[float] = nominal_rate_bps
         self.queue = FlowQueue(flow_id, max_bytes=max_queue_bytes, policy=queue_policy)
         self.bytes_sent = 0
         self.packets_sent = 0
@@ -129,7 +149,15 @@ class Flow:
         self._arrival_listeners.append(listener)
 
     def offer(self, packet: Packet) -> bool:
-        """Enqueue *packet*; returns ``False`` if drop-tail discarded it."""
+        """Enqueue *packet*; returns ``False`` if drop-tail discarded it.
+
+        Packets arriving without an explicit deadline inherit the
+        flow's :attr:`deadline_budget` relative to their creation time,
+        so every traffic source threads deadlines without knowing about
+        them.
+        """
+        if packet.deadline is None and self.deadline_budget is not None:
+            packet.deadline = packet.created_at + self.deadline_budget
         accepted = self.queue.enqueue(packet)
         if accepted:
             for listener in self._arrival_listeners:
@@ -181,6 +209,8 @@ class Flow:
                 sorted(self._allowed) if self._allowed is not None else None
             ),
             "prefs_version": self.prefs_version,
+            "deadline_budget": self.deadline_budget,
+            "nominal_rate_bps": self.nominal_rate_bps,
             "bytes_sent": self.bytes_sent,
             "packets_sent": self.packets_sent,
             "completed_at": self.completed_at,
@@ -202,6 +232,8 @@ class Flow:
             frozenset(state["allowed"]) if state["allowed"] is not None else None
         )
         self.prefs_version = state["prefs_version"]
+        self.deadline_budget = state.get("deadline_budget")
+        self.nominal_rate_bps = state.get("nominal_rate_bps")
         self.bytes_sent = state["bytes_sent"]
         self.packets_sent = state["packets_sent"]
         self.completed_at = state["completed_at"]

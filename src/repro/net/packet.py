@@ -76,6 +76,11 @@ class Packet:
         Virtual time of arrival into the system (for latency stats).
     seqno:
         Globally unique, monotonically increasing id (determinism aid).
+    deadline:
+        Optional absolute virtual time by which the packet should have
+        finished transmission. ``None`` means the packet is elastic —
+        deadline-aware schedulers treat it as infinitely patient and
+        the engine's miss accounting ignores it.
     five_tuple:
         Optional L3/L4 identity, set when the bridge substrate is used.
     wire_bytes:
@@ -86,6 +91,7 @@ class Packet:
     size_bytes: int
     created_at: float = 0.0
     seqno: int = field(default_factory=lambda: next(_packet_counter))
+    deadline: Optional[float] = None
     five_tuple: Optional[FiveTuple] = None
     wire_bytes: Optional[bytes] = None
 
@@ -115,6 +121,7 @@ def encode_packet(packet: Packet) -> dict:
         "size_bytes": packet.size_bytes,
         "created_at": packet.created_at,
         "seqno": packet.seqno,
+        "deadline": packet.deadline,
         "five_tuple": five_tuple,
         "wire_bytes": (
             packet.wire_bytes.hex() if packet.wire_bytes is not None else None
@@ -143,6 +150,7 @@ def decode_packet(doc: dict) -> Packet:
         size_bytes=doc["size_bytes"],
         created_at=doc["created_at"],
         seqno=doc["seqno"],
+        deadline=doc.get("deadline"),
         five_tuple=five_tuple,
         wire_bytes=(
             bytes.fromhex(doc["wire_bytes"]) if doc["wire_bytes"] is not None else None

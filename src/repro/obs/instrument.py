@@ -183,6 +183,41 @@ class EngineInstrumentation:
                 for interface in engine.interfaces.values()
             ),
         )
+        # Deadline-SLO and admission telemetry: counters the engine's
+        # send-completion path already maintains, plus a miss-latency
+        # sketch fed by the (rare) deadline-miss listener.
+        registry.gauge(
+            "engine.deadline_packets_total",
+            "Transmitted packets that carried a deadline",
+            fn=lambda: engine.deadline_packets_total,
+        )
+        registry.gauge(
+            "engine.deadline_misses_total",
+            "Deadline-carrying packets delivered late",
+            fn=lambda: engine.deadline_misses_total,
+        )
+        registry.gauge(
+            "engine.shed_flows",
+            "Flows currently excluded by admission control",
+            fn=lambda: engine.num_shed,
+        )
+        registry.gauge(
+            "engine.admission_rejected_total",
+            "Flows turned away at admission",
+            fn=lambda: engine.admission_rejected_total,
+        )
+        registry.gauge(
+            "engine.admission_shed_total",
+            "Admitted flows evicted by a later admission review",
+            fn=lambda: engine.admission_shed_total,
+        )
+        miss_sketch = registry.sketch(
+            "engine.deadline_miss_lateness_seconds",
+            "Lateness of deadline misses (p99 miss latency)",
+        )
+        engine.on_deadline_miss(
+            lambda flow, packet, lateness: miss_sketch.observe(lateness)
+        )
         completed = registry.counter(
             "engine.flows_completed_total", "Flow transfers finished"
         )
@@ -287,6 +322,38 @@ class EngineInstrumentation:
                 "sched.turns_total",
                 "Service turns granted",
                 fn=lambda s=scheduler: sum(s.turns_taken.values()),
+            )
+        if hasattr(scheduler, "projected_load"):
+            registry.gauge(
+                "sched.admission_projected_load",
+                "Declared load over observed capacity (EDF AC)",
+                fn=scheduler.projected_load,
+            )
+            registry.gauge(
+                "sched.admissions_total",
+                "Flows admitted by the admission controller",
+                fn=lambda s=scheduler: s.admissions_total,
+            )
+            registry.gauge(
+                "sched.admission_rejected_total",
+                "Flows rejected by the admission controller",
+                fn=lambda s=scheduler: s.admission_rejected_total,
+            )
+            registry.gauge(
+                "sched.admission_shed_total",
+                "Shed verdicts issued by the admission controller",
+                fn=lambda s=scheduler: s.admission_shed_total,
+            )
+        if hasattr(scheduler, "steers_total"):
+            registry.gauge(
+                "sched.steers_total",
+                "Queue-aware steering decisions (QAware)",
+                fn=lambda s=scheduler: s.steers_total,
+            )
+            registry.gauge(
+                "sched.steals_total",
+                "Work-conservation steals across interfaces (QAware)",
+                fn=lambda s=scheduler: s.steals_total,
             )
         registry.histogram(
             "flows.occupancy_bytes",

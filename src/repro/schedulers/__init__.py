@@ -3,6 +3,7 @@ multi-interface baselines, and the paper's miDRR."""
 
 from .base import MultiInterfaceScheduler, SingleInterfaceScheduler
 from .drr import DEFAULT_QUANTUM, DrrScheduler
+from .edf import AdmissionVerdict, EdfScheduler
 from .fifo import FifoScheduler, RoundRobinScheduler
 from .midrr import (
     COUNTER_CAP,
@@ -16,19 +17,23 @@ from .per_interface import (
     SchedulerFactory,
     StaticSplitScheduler,
 )
+from .qaware import QAwareScheduler
 from .wfq import WfqScheduler
 
 __all__ = [
+    "AdmissionVerdict",
     "COUNTER_CAP",
     "DEFAULT_QUANTUM",
     "DEFICIT_SCOPES",
     "EXCLUSION_MODES",
     "DrrScheduler",
+    "EdfScheduler",
     "FLAG_MODES",
     "FifoScheduler",
     "MiDrrScheduler",
     "MultiInterfaceScheduler",
     "PerInterfaceScheduler",
+    "QAwareScheduler",
     "RoundRobinScheduler",
     "SchedulerFactory",
     "SingleInterfaceScheduler",

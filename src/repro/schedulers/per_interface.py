@@ -12,11 +12,19 @@ These reproduce the schedulers the paper shows are *insufficient*:
   interface (weighted-least-loaded at admission) and run DRR per
   interface. Simple, but wastes capacity and cannot aggregate
   bandwidth across interfaces.
+
+Both schedulers derive inner-scheduler membership from Π, so a live
+preference edit (``Flow.restrict_to``) must revalidate it: membership
+is re-synced lazily against ``Flow.prefs_version`` (the same contract
+``base.willing_interfaces`` uses), driven by a per-flow dirty mark set
+from the flow's preference-change listener. A flow restricted away
+from an interface leaves that inner scheduler before the next decision
+(Π respect); a flow widened onto a new interface joins it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from ..errors import SchedulingError
 from ..net.flow import Flow
@@ -29,13 +37,71 @@ from .wfq import WfqScheduler
 SchedulerFactory = Callable[[], SingleInterfaceScheduler]
 
 
-class PerInterfaceScheduler(MultiInterfaceScheduler):
+class _ChurnSyncMixin:
+    """Lazy membership revalidation against ``Flow.prefs_version``.
+
+    Subclasses call :meth:`_hook_prefs` when a flow is added,
+    :meth:`_drop_sync_state` when it is removed, :meth:`_sync_dirty`
+    at the top of every decision, and implement :meth:`_sync_flow` to
+    reconcile their derived membership with the flow's current Π row.
+    The dirty registry is an insertion-ordered dict so multi-flow sync
+    order never depends on string hashing.
+    """
+
+    def _init_churn_sync(self) -> None:
+        self._applied_prefs: Dict[str, int] = {}
+        self._dirty: Dict[str, None] = {}
+
+    def _hook_prefs(self, flow: Flow) -> None:
+        if flow.flow_id in self._applied_prefs:
+            # Re-added (e.g. quarantine resume): listener already wired.
+            self._applied_prefs[flow.flow_id] = flow.prefs_version
+            return
+        self._applied_prefs[flow.flow_id] = flow.prefs_version
+        flow.on_prefs_change(self._prefs_edited)
+
+    def _prefs_edited(self, flow: Flow) -> None:
+        # Listeners outlive membership (Flow offers no unregister), so
+        # only currently-registered flows get marked.
+        if flow.flow_id in self._flows:
+            self._dirty[flow.flow_id] = None
+
+    def _drop_sync_state(self, flow_id: str) -> None:
+        self._dirty.pop(flow_id, None)
+
+    def _sync_dirty(self) -> None:
+        while self._dirty:
+            flow_id = next(iter(self._dirty))
+            del self._dirty[flow_id]
+            flow = self._flows.get(flow_id)
+            if flow is None:
+                continue
+            if self._applied_prefs.get(flow_id) == flow.prefs_version:
+                continue
+            self._sync_flow(flow)
+            self._applied_prefs[flow_id] = flow.prefs_version
+
+    def _sync_flow(self, flow: Flow) -> None:
+        raise NotImplementedError
+
+    def _reset_sync_state(self) -> None:
+        """Post-restore: snapshots are taken synced (see subclasses)."""
+        self._dirty.clear()
+        self._applied_prefs = {
+            flow_id: flow.prefs_version for flow_id, flow in self._flows.items()
+        }
+
+
+class PerInterfaceScheduler(_ChurnSyncMixin, MultiInterfaceScheduler):
     """Independent single-interface schedulers over shared backlogs."""
 
     def __init__(self, factory: SchedulerFactory) -> None:
         super().__init__()
         self._factory = factory
         self._inner: Dict[str, SingleInterfaceScheduler] = {}
+        # Applied membership per flow: which inners currently hold it.
+        self._member: Dict[str, Set[str]] = {}
+        self._init_churn_sync()
 
     @classmethod
     def wfq(cls) -> "PerInterfaceScheduler":
@@ -67,22 +133,44 @@ class PerInterfaceScheduler(MultiInterfaceScheduler):
         for flow in self._flows.values():
             if flow.willing_to_use(interface_id):
                 self._inner[interface_id].add_flow(flow)
+                self._member[flow.flow_id].add(interface_id)
 
     def _on_flow_added(self, flow: Flow) -> None:
-        for interface_id, inner in self._inner.items():
-            if flow.willing_to_use(interface_id):
-                inner.add_flow(flow)
+        member: Set[str] = set()
+        for interface_id in self.willing_interfaces(flow):
+            self._inner[interface_id].add_flow(flow)
+            member.add(interface_id)
+        self._member[flow.flow_id] = member
+        self._hook_prefs(flow)
 
     def _on_flow_removed(self, flow: Flow) -> None:
         for inner in self._inner.values():
             inner.remove_flow(flow.flow_id)
+        self._member.pop(flow.flow_id, None)
+        self._drop_sync_state(flow.flow_id)
+
+    def _sync_flow(self, flow: Flow) -> None:
+        """Reconcile inner membership with the flow's current Π row."""
+        willing = set(self.willing_interfaces(flow))
+        member = self._member.setdefault(flow.flow_id, set())
+        for interface_id in member - willing:
+            self._inner[interface_id].remove_flow(flow.flow_id)
+        for interface_id in willing - member:
+            inner = self._inner[interface_id]
+            inner.add_flow(flow)
+            if flow.backlogged:
+                inner.notify_backlogged(flow)
+        self._member[flow.flow_id] = willing
 
     def _on_backlogged(self, flow: Flow) -> None:
-        for interface_id, inner in self._inner.items():
-            if flow.willing_to_use(interface_id):
-                inner.notify_backlogged(flow)
+        if self._dirty:
+            self._sync_dirty()
+        for interface_id in self._member.get(flow.flow_id, ()):
+            self._inner[interface_id].notify_backlogged(flow)
 
     def select(self, interface_id: str) -> Optional[Packet]:
+        if self._dirty:
+            self._sync_dirty()
         inner = self._inner.get(interface_id)
         if inner is None:
             raise SchedulingError(f"unknown interface {interface_id!r}")
@@ -92,6 +180,10 @@ class PerInterfaceScheduler(MultiInterfaceScheduler):
     # Checkpointing
     # ------------------------------------------------------------------
     def _snapshot_state(self) -> Dict[str, object]:
+        # Sync first so the snapshot's inner membership matches every
+        # flow's current prefs_version — restore then rebuilds the
+        # applied-version table from the flows themselves.
+        self._sync_dirty()
         return {
             "inner": {
                 interface_id: inner.snapshot_state()
@@ -107,14 +199,34 @@ class PerInterfaceScheduler(MultiInterfaceScheduler):
                     f"snapshot references unknown interface {interface_id!r}"
                 )
             inner.restore_state(snapshot, self._flows)
+        self._member = {
+            flow_id: {
+                interface_id
+                for interface_id, inner in self._inner.items()
+                if inner.has_flow(flow_id)
+            }
+            for flow_id in self._flows
+        }
+        self._reset_sync_state()
 
 
-class StaticSplitScheduler(MultiInterfaceScheduler):
+class StaticSplitScheduler(_ChurnSyncMixin, MultiInterfaceScheduler):
     """Pin each flow to one willing interface; DRR per interface.
 
     Assignment picks the willing interface with the smallest total
     pinned weight (ties broken by registration order), a reasonable
     admission-time heuristic a mobile OS might use.
+
+    Pin-once contract: assignment happens **at admission only**. An
+    interface registered after a flow was admitted is never considered
+    for that flow retroactively — it starts at zero pinned weight and
+    therefore wins the next admission (asserted in
+    :meth:`_on_interface_added`); this wasted-capacity behaviour is
+    exactly what the conformance battery shows static splitting costs.
+    The single exception is a live preference edit that removes the
+    pinned interface from the flow's Π row: serving on would violate Π,
+    so the flow is re-pinned among its new willing set as if it were a
+    fresh admission.
     """
 
     def __init__(self, quantum_base: int = 1500) -> None:
@@ -123,6 +235,7 @@ class StaticSplitScheduler(MultiInterfaceScheduler):
         self._inner: Dict[str, DrrScheduler] = {}
         self._pinned_weight: Dict[str, float] = {}
         self._assignment: Dict[str, str] = {}
+        self._init_churn_sync()
 
     @property
     def assignment(self) -> Dict[str, str]:
@@ -131,27 +244,53 @@ class StaticSplitScheduler(MultiInterfaceScheduler):
 
     def _on_interface_added(self, interface_id: str) -> None:
         self._inner[interface_id] = DrrScheduler(quantum_base=self._quantum_base)
+        # Pin-once: existing flows keep their assignment. The new
+        # interface joins the admission pool at zero pinned weight, so
+        # it is the least-loaded candidate for the *next* admission.
+        assert interface_id not in self._pinned_weight
         self._pinned_weight[interface_id] = 0.0
 
-    def _on_flow_added(self, flow: Flow) -> None:
-        willing = [j for j in self.interface_ids() if flow.willing_to_use(j)]
+    def _pin(self, flow: Flow) -> None:
+        willing = self.willing_interfaces(flow)
         target = min(willing, key=lambda j: self._pinned_weight[j])
         self._assignment[flow.flow_id] = target
         self._pinned_weight[target] += flow.weight
         self._inner[target].add_flow(flow)
+        if flow.backlogged:
+            self._inner[target].notify_backlogged(flow)
 
-    def _on_flow_removed(self, flow: Flow) -> None:
+    def _unpin(self, flow: Flow) -> None:
         target = self._assignment.pop(flow.flow_id, None)
         if target is not None:
             self._pinned_weight[target] -= flow.weight
             self._inner[target].remove_flow(flow.flow_id)
 
+    def _on_flow_added(self, flow: Flow) -> None:
+        self._pin(flow)
+        self._hook_prefs(flow)
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        self._unpin(flow)
+        self._drop_sync_state(flow.flow_id)
+
+    def _sync_flow(self, flow: Flow) -> None:
+        """Re-pin only when the pinned interface left the flow's Π row."""
+        target = self._assignment.get(flow.flow_id)
+        if target is not None and flow.willing_to_use(target):
+            return
+        self._unpin(flow)
+        self._pin(flow)
+
     def _on_backlogged(self, flow: Flow) -> None:
+        if self._dirty:
+            self._sync_dirty()
         target = self._assignment.get(flow.flow_id)
         if target is not None:
             self._inner[target].notify_backlogged(flow)
 
     def select(self, interface_id: str) -> Optional[Packet]:
+        if self._dirty:
+            self._sync_dirty()
         inner = self._inner.get(interface_id)
         if inner is None:
             raise SchedulingError(f"unknown interface {interface_id!r}")
@@ -161,6 +300,8 @@ class StaticSplitScheduler(MultiInterfaceScheduler):
     # Checkpointing
     # ------------------------------------------------------------------
     def _snapshot_state(self) -> Dict[str, object]:
+        # Sync first: see PerInterfaceScheduler._snapshot_state.
+        self._sync_dirty()
         return {
             "pinned_weight": dict(self._pinned_weight),
             "assignment": dict(self._assignment),
@@ -180,3 +321,4 @@ class StaticSplitScheduler(MultiInterfaceScheduler):
                     f"snapshot references unknown interface {interface_id!r}"
                 )
             inner.restore_state(snapshot, self._flows)
+        self._reset_sync_state()

@@ -74,7 +74,6 @@ class WfqScheduler(SingleInterfaceScheduler):
         if not flows:
             return None
         origin = self._tie_rotation % len(flows)
-        self._tie_rotation += 1
         best_flow: Optional[Flow] = None
         best_tag = float("inf")
         for offset in range(len(flows)):
@@ -84,7 +83,11 @@ class WfqScheduler(SingleInterfaceScheduler):
                 best_tag = tag
                 best_flow = flow
         if best_flow is None:
+            # No selection, no rotation: an idle interface polling must
+            # not perturb future tie-breaks (the decision stream would
+            # otherwise depend on how often empty selects happen).
             return None
+        self._tie_rotation += 1
         self._virtual_time = best_tag
         self._last_finish[best_flow.flow_id] = best_tag
         self._head_tags.pop(best_flow.flow_id, None)

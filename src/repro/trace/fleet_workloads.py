@@ -50,6 +50,15 @@ _APP_WEIGHTS: Dict[str, float] = {
     "browser": 1.5,
 }
 
+#: Per-packet latency budgets (seconds) by app category. Interactive
+#: apps carry tight deadlines so fleet runs exercise the engine's
+#: deadline-miss accounting; background/bulk apps stay elastic (None).
+_APP_DEADLINES: Dict[str, float] = {
+    "voip": 0.050,
+    "video": 0.150,
+    "browser": 0.300,
+}
+
 
 @dataclass(frozen=True)
 class DeviceWorkload:
@@ -167,6 +176,7 @@ def _smartphone_flows(
                     kind="bulk",
                     total_bytes=interval.transfer_bytes(size_rng),
                     packet_size=workload.packet_size,
+                    deadline=_APP_DEADLINES.get(interval.app),
                 ),
                 start_time=interval.start,
             )

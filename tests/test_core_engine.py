@@ -129,3 +129,73 @@ class TestMultiInterface:
         sim.run(until=10.0)
         assert engine.stats.interface_bytes("if1") > 0
         assert engine.stats.interface_bytes("if2") == 0
+
+
+class TestDeadlineAccounting:
+    """Engine-level miss accounting is scheduler-agnostic (ISSUE 9)."""
+
+    def test_misses_counted_under_midrr(self, sim):
+        engine = build_engine(sim, rates=(8_000,))  # 1 s per 1000 B
+        flow = Flow("slow", deadline_budget=0.5)
+        engine.add_flow(flow)
+        for _ in range(2):
+            flow.offer(Packet(flow_id="slow", size_bytes=1000))
+        engine.start()
+        sim.run()
+        assert engine.deadline_packets_total == 2
+        assert engine.deadline_misses_total == 2
+        assert engine.deadline_misses_by_flow == {"slow": 2}
+
+    def test_met_deadlines_do_not_count_as_misses(self, sim):
+        engine = build_engine(sim, rates=(8_000_000,))
+        flow = Flow("fast", deadline_budget=0.5)
+        engine.add_flow(flow)
+        flow.offer(Packet(flow_id="fast", size_bytes=1000))
+        engine.start()
+        sim.run()
+        assert engine.deadline_packets_total == 1
+        assert engine.deadline_misses_total == 0
+
+    def test_elastic_packets_ignored(self, sim):
+        engine = build_engine(sim, rates=(8_000,))
+        engine.add_flow(make_flow("e", backlog_packets=2))
+        engine.start()
+        sim.run()
+        assert engine.deadline_packets_total == 0
+
+    def test_listener_receives_lateness(self, sim):
+        engine = build_engine(sim, rates=(8_000,))
+        flow = Flow("slow", deadline_budget=0.25)
+        engine.add_flow(flow)
+        flow.offer(Packet(flow_id="slow", size_bytes=1000))
+        seen = []
+        engine.on_deadline_miss(
+            lambda f, packet, lateness: seen.append((f.flow_id, lateness))
+        )
+        engine.start()
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0][0] == "slow"
+        assert seen[0][1] == pytest.approx(0.75)
+
+    def test_counters_survive_snapshot(self, sim):
+        import json
+
+        engine = build_engine(sim, rates=(8_000,))
+        flow = Flow("slow", deadline_budget=0.5)
+        engine.add_flow(flow)
+        for _ in range(2):
+            flow.offer(Packet(flow_id="slow", size_bytes=1000))
+        engine.start()
+        sim.run()
+        state = json.loads(json.dumps(engine.snapshot_state()))
+
+        from repro.sim.simulator import Simulator
+
+        sim2 = Simulator()
+        engine2 = build_engine(sim2, rates=(8_000,))
+        engine2.add_flow(Flow("slow", deadline_budget=0.5))
+        engine2.restore_state(state)
+        assert engine2.deadline_packets_total == 2
+        assert engine2.deadline_misses_total == 2
+        assert engine2.deadline_misses_by_flow == {"slow": 2}

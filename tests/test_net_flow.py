@@ -32,6 +32,56 @@ class TestConstruction:
             Flow("f", allowed_interfaces=[])
 
 
+class TestDeadlinesAndDemand:
+    def test_deadline_budget_stamps_offered_packets(self):
+        flow = Flow("f", deadline_budget=0.25)
+        packet = Packet(flow_id="f", size_bytes=100, created_at=2.0)
+        flow.offer(packet)
+        assert packet.deadline == pytest.approx(2.25)
+
+    def test_explicit_deadline_not_overwritten(self):
+        flow = Flow("f", deadline_budget=0.25)
+        packet = Packet(flow_id="f", size_bytes=100, created_at=2.0, deadline=9.0)
+        flow.offer(packet)
+        assert packet.deadline == 9.0
+
+    def test_no_budget_leaves_packets_elastic(self):
+        flow = Flow("f")
+        packet = pkt()
+        flow.offer(packet)
+        assert packet.deadline is None
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_nonpositive_budget_rejected(self, budget):
+        with pytest.raises(ConfigurationError):
+            Flow("f", deadline_budget=budget)
+
+    @pytest.mark.parametrize("rate", [0.0, -5.0])
+    def test_nonpositive_nominal_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            Flow("f", nominal_rate_bps=rate)
+
+    def test_budget_and_demand_survive_snapshot(self):
+        import json
+
+        flow = Flow("f", deadline_budget=0.5, nominal_rate_bps=1e6)
+        state = json.loads(json.dumps(flow.snapshot_state()))
+        restored = Flow("f")
+        restored.restore_state(state)
+        assert restored.deadline_budget == 0.5
+        assert restored.nominal_rate_bps == 1e6
+
+    def test_pre_deadline_snapshots_still_restore(self):
+        flow = Flow("f")
+        state = flow.snapshot_state()
+        del state["deadline_budget"]  # a checkpoint written before ISSUE 9
+        del state["nominal_rate_bps"]
+        restored = Flow("f")
+        restored.restore_state(state)
+        assert restored.deadline_budget is None
+        assert restored.nominal_rate_bps is None
+
+
 class TestInterfacePreferences:
     def test_none_means_any(self):
         flow = Flow("f")

@@ -27,6 +27,28 @@ class TestPacket:
         assert "video" in repr(packet)
         assert "1500B" in repr(packet)
 
+    def test_deadline_defaults_to_elastic(self):
+        assert Packet(flow_id="a", size_bytes=1).deadline is None
+
+
+class TestDeadlineCodec:
+    def test_deadline_round_trips(self):
+        from repro.net.packet import decode_packet, encode_packet
+
+        packet = Packet(flow_id="a", size_bytes=100, created_at=1.5, deadline=2.25)
+        doc = encode_packet(packet)
+        assert doc["deadline"] == 2.25
+        restored = decode_packet(doc)
+        assert restored.deadline == 2.25
+        assert restored.seqno == packet.seqno
+
+    def test_pre_deadline_documents_still_decode(self):
+        from repro.net.packet import decode_packet, encode_packet
+
+        doc = encode_packet(Packet(flow_id="a", size_bytes=100))
+        del doc["deadline"]  # a checkpoint written before ISSUE 9
+        assert decode_packet(doc).deadline is None
+
 
 class TestFiveTuple:
     def _tuple(self):

@@ -21,8 +21,10 @@ from repro.faults.crashes import (
     run_crash_equivalence,
 )
 from repro.faults.plan import FaultPlan, PlannedFault
+from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.midrr import MiDrrScheduler
 from repro.schedulers.per_interface import PerInterfaceScheduler
+from repro.schedulers.qaware import QAwareScheduler
 from repro.units import mbps
 
 KILL_POINTS = (150, 1200, 3500)
@@ -256,6 +258,73 @@ class TestCalendarAndBatchingEquivalence:
         restored = RecoverableScenarioRun.restore(
             first, MiDrrScheduler, queue_backend="calendar", batching=True
         )
+        second = json.loads(json.dumps(restored.checkpoint()))
+        assert canonical_state_json(first) == canonical_state_json(second)
+
+
+def deadline_workload():
+    """The fig7 mix with per-packet deadlines on the latency flows.
+
+    Deadline-carrying traffic exercises the EDF candidate scan and the
+    engine's miss accounting across the kill/restore boundary.
+    """
+    scenario = fig7_workload()
+    flows = tuple(
+        dataclasses.replace(
+            spec,
+            traffic=dataclasses.replace(
+                spec.traffic,
+                deadline={"web": 0.25, "stream": 0.1}.get(spec.flow_id),
+            ),
+        )
+        for spec in scenario.flows
+    )
+    return dataclasses.replace(scenario, flows=flows, name="deadline-workload")
+
+
+@pytest.mark.recovery
+class TestDeadlineFamilyEquivalence:
+    """ISSUE 9 acceptance: EDF and QAware hold crash equivalence on both
+    event-queue backends, batching on and off."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [EdfScheduler, QAwareScheduler],
+        ids=["edf", "qaware"],
+    )
+    @pytest.mark.parametrize(
+        "queue_backend,batching",
+        [("heap", False), ("calendar", True)],
+        ids=["heap", "calendar+batch"],
+    )
+    def test_family_equivalence(self, factory, queue_backend, batching):
+        report = run_crash_equivalence(
+            deadline_workload(),
+            factory,
+            (200, 2500),
+            queue_backend=queue_backend,
+            batching=batching,
+        )
+        assert_equivalent(report)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [EdfScheduler, QAwareScheduler],
+        ids=["edf", "qaware"],
+    )
+    def test_family_checkpoint_fixpoint(self, factory):
+        """restore(checkpoint()) is a fixpoint for the new schedulers."""
+        import json
+
+        from repro.recovery import RecoverableScenarioRun
+        from repro.recovery.checkpoint import canonical_state_json
+
+        run = RecoverableScenarioRun(deadline_workload(), factory)
+        for _ in range(900):
+            if run.finished or not run.step():
+                break
+        first = json.loads(json.dumps(run.checkpoint()))
+        restored = RecoverableScenarioRun.restore(first, factory)
         second = json.loads(json.dumps(restored.checkpoint()))
         assert canonical_state_json(first) == canonical_state_json(second)
 

@@ -128,6 +128,107 @@ class TestStaticSplitScheduler:
             scheduler.select("nope")
 
 
+class TestPreferenceChurn:
+    """Regression (ISSUE 9): inner membership used to be computed once
+    at admission and never revisited, so a live ``restrict_to`` left
+    the flow being served by interfaces its new Π row forbids."""
+
+    def test_per_interface_restriction_stops_service(self):
+        scheduler = PerInterfaceScheduler.drr()
+        scheduler.register_interface("if1")
+        scheduler.register_interface("if2")
+        flow = make_flow("m", backlog_packets=50)
+        scheduler.add_flow(flow)
+        assert scheduler.select("if1") is not None
+        flow.restrict_to({"if2"})
+        # Π violation before the fix: if1 kept serving from its stale
+        # inner membership.
+        assert scheduler.select("if1") is None
+        assert scheduler.select("if2").flow_id == "m"
+
+    def test_per_interface_widening_starts_service(self):
+        scheduler = PerInterfaceScheduler.wfq()
+        scheduler.register_interface("if1")
+        scheduler.register_interface("if2")
+        flow = make_flow("m", interfaces=["if1"], backlog_packets=50)
+        scheduler.add_flow(flow)
+        assert scheduler.select("if2") is None
+        flow.restrict_to({"if1", "if2"})
+        # The newly-willing interface picks the flow up without a
+        # remove/re-add cycle.
+        assert scheduler.select("if2").flow_id == "m"
+
+    def test_per_interface_churn_survives_snapshot(self):
+        import json
+
+        def build():
+            scheduler = PerInterfaceScheduler.drr()
+            scheduler.register_interface("if1")
+            scheduler.register_interface("if2")
+            return scheduler
+
+        source = build()
+        flow = make_flow("m", backlog_packets=50)
+        source.add_flow(flow)
+        flow.restrict_to({"if2"})
+        snapshot = json.loads(json.dumps(source.snapshot_state()))
+
+        target = build()
+        restored_flow = make_flow("m", backlog_packets=50)
+        restored_flow.restrict_to({"if2"})
+        target.add_flow(restored_flow)
+        target.restore_state(snapshot, {"m": restored_flow})
+        assert target.select("if1") is None
+        assert target.select("if2").flow_id == "m"
+
+    def test_static_split_repins_on_pi_eviction(self):
+        scheduler = StaticSplitScheduler()
+        scheduler.register_interface("if1")
+        scheduler.register_interface("if2")
+        flow = make_flow("m", backlog_packets=50)
+        scheduler.add_flow(flow)
+        assert scheduler.assignment["m"] == "if1"
+        flow.restrict_to({"if2"})
+        # Serving on if1 would violate Π: the flow is re-pinned.
+        assert scheduler.select("if1") is None
+        assert scheduler.select("if2").flow_id == "m"
+        assert scheduler.assignment["m"] == "if2"
+
+    def test_static_split_keeps_pin_when_still_willing(self):
+        scheduler = StaticSplitScheduler()
+        scheduler.register_interface("if1")
+        scheduler.register_interface("if2")
+        flow = make_flow("m", backlog_packets=50)
+        scheduler.add_flow(flow)
+        pinned = scheduler.assignment["m"]
+        # A Π edit that keeps the pinned interface does NOT re-pin:
+        # static splitting is assignment-stable by contract.
+        flow.restrict_to({"if1", "if2"})
+        scheduler.select("if1")
+        scheduler.select("if2")
+        assert scheduler.assignment["m"] == pinned
+
+
+class TestStaticSplitPinOnce:
+    """ISSUE 9 satellite: the pin-once contract for late interfaces is
+    documented and asserted, not silently wrong."""
+
+    def test_late_interface_keeps_existing_pins(self):
+        scheduler = StaticSplitScheduler()
+        scheduler.register_interface("if1")
+        scheduler.add_flow(make_flow("a", backlog_packets=10))
+        scheduler.add_flow(make_flow("b", backlog_packets=10))
+        before = scheduler.assignment
+        scheduler.register_interface("if2")
+        # Existing flows are never reassigned retroactively...
+        assert scheduler.assignment == before
+        assert scheduler.select("if2") is None
+        # ...but the empty newcomer wins the next admission.
+        scheduler.add_flow(make_flow("c", weight=0.5, backlog_packets=10))
+        assert scheduler.assignment["c"] == "if2"
+        assert scheduler.select("if2").flow_id == "c"
+
+
 class TestAggregateFifo:
     def test_pi_still_respected(self):
         scheduler = PerInterfaceScheduler.fifo()

@@ -96,6 +96,41 @@ class TestDynamics:
         scheduler.remove_flow("a")
         assert scheduler.next_packet() is None
 
+    def test_idle_selects_do_not_perturb_tie_breaks(self):
+        """Regression (ISSUE 9): an empty select used to advance the
+        tie-rotation, so how often an idle interface polled changed
+        which flow won the next tie. Decisions must be byte-identical
+        with and without interleaved idle selects."""
+
+        def build():
+            scheduler = WfqScheduler()
+            for flow_id in ("a", "b", "c"):
+                scheduler.add_flow(make_flow(flow_id))
+            return scheduler
+
+        def backlog(scheduler, packets_per_flow):
+            for flow_id in ("a", "b", "c"):
+                flow = scheduler._flows[flow_id]
+                for _ in range(packets_per_flow):
+                    flow.offer(Packet(flow_id=flow_id, size_bytes=1500))
+                scheduler.notify_backlogged(flow)
+
+        quiet = build()
+        noisy = build()
+        for _ in range(5):  # idle polls while nothing is backlogged
+            assert noisy.next_packet() is None
+        decisions = {"quiet": [], "noisy": []}
+        for _round in range(4):
+            backlog(quiet, 1)
+            backlog(noisy, 1)
+            for _ in range(3):
+                decisions["quiet"].append(quiet.next_packet().flow_id)
+                decisions["noisy"].append(noisy.next_packet().flow_id)
+            # More idle polls between service rounds.
+            assert noisy.next_packet() is None
+            assert noisy.next_packet() is None
+        assert decisions["noisy"] == decisions["quiet"]
+
     def test_shared_backlog_with_second_scheduler(self):
         # Two independent WFQ instances over one backlog (the paper's
         # per-interface baseline): heads taken by one must invalidate
