@@ -64,8 +64,15 @@ def p99(values: Sequence[float]) -> float:
 
 
 def jain_index(rates: Mapping[str, float]) -> float:
-    """Jain's fairness index over the given per-flow rates (0..1]."""
-    values = list(rates.values())
+    """Jain's fairness index over the given per-flow rates (0..1].
+
+    Non-finite rates (a NaN or the ``inf`` from normalizing by a zero
+    weight) are clamped to 0.0 — the convention of
+    :func:`repro.fairness.metrics.jain_index` — so a degenerate flow
+    can never leak NaN/inf into :meth:`SloRow.signature_line` and the
+    report hash.
+    """
+    values = [v if math.isfinite(v) else 0.0 for v in rates.values()]
     if not values:
         return 1.0
     square_of_sum = sum(values) ** 2

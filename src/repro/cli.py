@@ -11,6 +11,7 @@ Usage::
     midrr fct             # E13: completion times under churn
     midrr all             # every figure
     midrr chaos --seed 7 --duration 60        # seeded fault-injection run
+    midrr audit --seed 7 --duration 30        # chaos + inline fairness auditing
     midrr slo --seed 7 --duration 30          # scheduler-family latency-SLO table
     midrr fleet --devices 1000 --workers 4    # sharded fleet run + merged report
     midrr bench core                          # hot-path baseline -> BENCH_core.json
@@ -38,7 +39,7 @@ from .core.runner import run_scenario
 from .core.scenario import Scenario
 from .errors import ReproError
 from .experiments import fct, fig1, fig6, fig7, fig9, fig10, inbound_ideal
-from .faults.chaos import run_chaos
+from .faults.chaos import ChaosRun, run_chaos
 from .fleet import EXECUTORS, run_fleet
 from .health.watchdog import Watchdog
 from .obs import (
@@ -69,6 +70,7 @@ from .perf import (
     render_overhead_table,
     run_cell,
     run_core_bench,
+    run_auditor_overhead,
     run_fleet_cell,
     run_metrics_overhead,
     validate_bench_document,
@@ -345,6 +347,69 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(2)
 
 
+def cmd_audit(args: argparse.Namespace) -> None:
+    """Run the chaos scenario with the inline fairness auditor attached.
+
+    Prints the drift summary (measured rates vs the live fluid
+    optimum), the incremental-solver statistics, and any fairness
+    alerts. With ``--strict`` the command exits 2 if any drift alert
+    was raised. Everything printed is derived from the simulated
+    clock, so the output is byte-identical for a given seed.
+    """
+    run = ChaosRun(
+        seed=args.seed,
+        duration=args.duration,
+        with_churn=not args.no_churn,
+        queue_backend=args.backend,
+        with_auditor=True,
+        audit_period=args.period,
+    )
+    run.run()
+    auditor = run.auditor
+    solver = auditor.solver
+    allocation = solver.allocation
+    lines = [
+        f"== fairness audit: seed={args.seed} duration={args.duration:g}s "
+        f"period={args.period:g}s window={auditor.window:g}s ==",
+        "",
+        f"ticks={auditor.ticks} audits={auditor.audits_total} "
+        f"drift_last={auditor.drift_last:.4f} drift_peak={auditor.drift_peak:.4f}",
+        f"solver: {solver.deltas_total} deltas, "
+        f"{solver.incremental_solves} incremental / {solver.full_solves} full "
+        f"({solver.incremental_ratio:.0%} incremental, "
+        f"{solver.fence_fallbacks} fence fallbacks), "
+        f"{len(allocation.clusters)} clusters now",
+        "",
+        f"{'flow':<8} {'weight':>7} {'fluid Mb/s':>11} {'measured Mb/s':>14}",
+    ]
+    stats = run.engine.stats
+    window_start = max(0.0, args.duration - auditor.window)
+    for flow_id in sorted(run.engine.flows):
+        expected = float(allocation.rates.get(flow_id, 0))
+        measured = stats.rate_in_window(flow_id, window_start, args.duration)
+        weight = run.engine.flows[flow_id].weight
+        lines.append(
+            f"{flow_id:<8} {weight:>7.2f} {expected / 1e6:>11.3f} "
+            f"{measured / 1e6:>14.3f}"
+        )
+    lines.append("")
+    if auditor.alerts:
+        lines.append(
+            f"{len(auditor.alerts)} fairness alert(s), "
+            f"{auditor.alerts_suppressed} suppressed:"
+        )
+        lines.extend(f"  {alert}" for alert in auditor.alerts)
+    else:
+        lines.append("no fairness drift detected")
+    _print("\n".join(lines))
+    if args.strict and auditor.alerts:
+        print(
+            f"error: {len(auditor.alerts)} fairness drift alert(s)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
 def cmd_slo(args: argparse.Namespace) -> None:
     """Run the latency-SLO report across the scheduler family.
 
@@ -536,6 +601,25 @@ def cmd_bench_smoke(args: argparse.Namespace) -> None:
             "regression gate"
         )
         return
+    # Inline-auditor gate: attaching the fairness auditor must keep
+    # the chaos run's decisions byte-identical (run_auditor_overhead
+    # raises on signature divergence) and cost less than the telemetry
+    # overhead budget.
+    print("bench smoke: gating fairness-auditor overhead ...", file=sys.stderr)
+    auditor_cell = run_auditor_overhead(seed=args.seed, repeats=3)
+    if not auditor_cell["within_budget"]:
+        print(
+            "bench smoke: REGRESSION fairness auditor overhead "
+            f"{auditor_cell['overhead_fraction']:.1%} exceeds the "
+            f"{auditor_cell['budget_fraction']:.0%} telemetry budget",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    print(
+        "bench smoke: auditor decisions identical, overhead "
+        f"{auditor_cell['overhead_fraction']:.1%} within the "
+        f"{auditor_cell['budget_fraction']:.0%} budget"
+    )
     try:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -1010,6 +1094,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-churn", action="store_true", help="disable weight churn"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "audit", help="chaos run with inline fairness-drift auditing"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument(
+        "--period", type=float, default=1.0, help="audit tick period (s)"
+    )
+    p.add_argument(
+        "--backend",
+        choices=sorted(QUEUE_BACKENDS),
+        default="heap",
+        help="event-queue backend (default: heap)",
+    )
+    p.add_argument("--no-churn", action="store_true")
+    p.add_argument(
+        "--strict", action="store_true",
+        help="exit 2 if any fairness drift alert was raised",
+    )
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
         "slo", help="latency-SLO report: scheduler family under chaos"

@@ -94,6 +94,9 @@ class SchedulingEngine:
         ] = {}
         self._completion_listeners: List[Callable[[Flow], None]] = []
         self._quarantine_listeners: List[Callable[[Flow, bool], None]] = []
+        self._flow_added_listeners: List[Callable[[Flow], None]] = []
+        self._flow_removed_listeners: List[Callable[[Flow], None]] = []
+        self._prefs_changed_listeners: List[Callable[[Flow], None]] = []
         # Optional select() wrapper installed by the telemetry layer
         # (decision-latency sampling). None keeps the supply path at a
         # single attribute check, so uninstrumented runs pay nothing.
@@ -214,6 +217,12 @@ class SchedulingEngine:
         flow.on_arrival(self._packet_arrived)
         flow.on_drop(self._packet_dropped)
         flow.on_prefs_change(self._prefs_changed)
+        # Fired as soon as the flow is registered — before the
+        # quarantine/admission branches — so topology-tracking
+        # listeners (the fairness auditor) see every flow the engine
+        # knows about, including ones parked at rate 0.
+        for listener in self._flow_added_listeners:
+            listener(flow)
         willing = self._willing_interfaces(flow)
         if willing and not any(interface.up for interface in willing):
             # The whole Π-set is dark right now: park the flow instead
@@ -253,6 +262,9 @@ class SchedulingEngine:
         self._willing_cache.pop(flow_id, None)
         if flow is not None and not was_shed:
             self._scheduler.remove_flow(flow_id)
+        if flow is not None:
+            for listener in self._flow_removed_listeners:
+                listener(flow)
 
     def on_flow_completed(self, listener: Callable[[Flow], None]) -> None:
         """Register a callback fired when a flow's transfer finishes."""
@@ -265,6 +277,32 @@ class SchedulingEngine:
         Π-set went down) and ``False`` when it resumes.
         """
         self._quarantine_listeners.append(listener)
+
+    def on_flow_added(self, listener: Callable[[Flow], None]) -> None:
+        """Register a callback fired when a flow registers with the engine.
+
+        Fires for every :meth:`add_flow`, including flows that go
+        straight into quarantine or are rejected by admission control.
+        """
+        self._flow_added_listeners.append(listener)
+
+    def on_flow_removed(self, listener: Callable[[Flow], None]) -> None:
+        """Register a callback fired when a flow deregisters.
+
+        Fires for every :meth:`remove_flow` of a known flow, whatever
+        its state (active, quarantined, or shed).
+        """
+        self._flow_removed_listeners.append(listener)
+
+    def on_preferences_changed(self, listener: Callable[[Flow], None]) -> None:
+        """Register a callback fired by :meth:`notify_preferences_changed`.
+
+        This is the one chokepoint live φ/Π edits are required to pass
+        through (weight writes on :class:`~repro.net.flow.Flow` have no
+        listener of their own), so fairness-tracking observers hook it
+        to stay current.
+        """
+        self._prefs_changed_listeners.append(listener)
 
     def on_deadline_miss(
         self, listener: Callable[[Flow, Packet, float], None]
@@ -352,7 +390,11 @@ class SchedulingEngine:
         interfaces that just became usable.
         """
         flow = self._flows.get(flow_id)
-        if flow is None or flow_id in self._shed:
+        if flow is None:
+            return
+        for listener in self._prefs_changed_listeners:
+            listener(flow)
+        if flow_id in self._shed:
             return
         alive = self._any_willing_interface_up(flow)
         if flow_id in self._quarantined:

@@ -28,8 +28,11 @@ from .clusters import (
     check_rate_clustering,
     extract_clusters,
 )
+from .incremental import IncrementalMaxMinSolver
 from .lp import LpMaxMinSolver, lp_maxmin
 from .metrics import (
+    MAX_RELATIVE_ERROR,
+    ZERO_RATE_ATOL,
     directional_fairness,
     jain_index,
     max_relative_error,
@@ -41,6 +44,7 @@ from .metrics import (
 from .waterfill import (
     Allocation,
     Cluster,
+    Stage,
     allocation_from_prefs,
     weighted_maxmin,
 )
@@ -48,6 +52,10 @@ from .waterfill import (
 __all__ = [
     "Allocation",
     "Cluster",
+    "IncrementalMaxMinSolver",
+    "MAX_RELATIVE_ERROR",
+    "Stage",
+    "ZERO_RATE_ATOL",
     "ConformanceReport",
     "FluidCapacityStep",
     "FluidFlow",

@@ -54,15 +54,20 @@ class FluidFlow:
 
 @dataclass(frozen=True)
 class FluidCapacityStep:
-    """A scheduled capacity change for one interface."""
+    """A scheduled capacity change for one interface.
+
+    A ``rate_bps`` of exactly 0 models an outage: flows confined to
+    dead interfaces receive fluid rate 0 (the quarantine semantics of
+    :func:`~repro.fairness.waterfill.weighted_maxmin`).
+    """
 
     time: float
     interface_id: str
     rate_bps: float
 
     def __post_init__(self) -> None:
-        if self.rate_bps <= 0:
-            raise ConfigurationError("capacity must stay positive")
+        if self.rate_bps < 0:
+            raise ConfigurationError("capacity must stay >= 0")
 
 
 @dataclass
@@ -82,12 +87,29 @@ class FluidResult:
     completions: Dict[str, float]
 
     def rate_at(self, flow_id: str, time: float) -> float:
-        """Instantaneous rate of *flow_id* at *time* (bits/s)."""
-        for segment in self.segments:
-            if segment.start - EPSILON <= time < segment.end - EPSILON:
-                return segment.rates.get(flow_id, 0.0)
-        if self.segments and abs(time - self.segments[-1].end) <= EPSILON:
-            return self.segments[-1].rates.get(flow_id, 0.0)
+        """Instantaneous rate of *flow_id* at *time* (bits/s).
+
+        Right-continuous: at an exact segment boundary the *incoming*
+        segment's rate is returned, and at exactly ``duration`` (the
+        last segment's end, ± :data:`EPSILON`) the final segment's
+        rate — so ``cumulative_service`` is the exact integral of
+        ``rate_at`` over ``[0, duration]``. Outside the simulated
+        window the rate is 0. (The previous lookup compared against
+        ``end - EPSILON``, shifting times within EPSILON of a boundary
+        into the *next* segment — an off-by-one-segment error the
+        byte-conservation property test pins.)
+        """
+        if not self.segments:
+            return 0.0
+        starts = [segment.start for segment in self.segments]
+        index = bisect_right(starts, time) - 1
+        if index < 0:
+            return 0.0
+        segment = self.segments[index]
+        if time < segment.end:
+            return segment.rates.get(flow_id, 0.0)
+        if index == len(self.segments) - 1 and time <= segment.end + EPSILON:
+            return segment.rates.get(flow_id, 0.0)
         return 0.0
 
     def cumulative_service(self, flow_id: str, time: float) -> float:

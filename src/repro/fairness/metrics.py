@@ -14,10 +14,22 @@ the standard aggregate metrics used to compare schedulers:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import FairnessError
 from ..net.sink import StatsCollector
+
+#: Cap for relative errors against a zero reference. A flow that must
+#: receive nothing but measurably receives something is *maximally*
+#: wrong, but reporting ``inf`` leaks into downstream aggregation —
+#: ``max()`` chains, SLO report hashes, JSON encoders — so the error is
+#: clamped to this large, finite, hash-stable sentinel instead.
+MAX_RELATIVE_ERROR = 1e9
+
+#: Measured rates (bits/s) below this are "zero" when the reference is
+#: zero (quarantined/unservable flows): pure numerical residue.
+ZERO_RATE_ATOL = 1e-9
 
 
 def directional_fairness(
@@ -38,8 +50,17 @@ def jain_index(normalized_rates: Sequence[float]) -> float:
     """Jain's fairness index over normalized rates ``r_i/φ_i``.
 
     1.0 means perfectly equal shares; 1/n means one flow has it all.
+
+    Convention for degenerate inputs (documented in
+    ``docs/fairness.md``): non-finite entries — a NaN from 0/0, or the
+    ``inf`` a caller gets normalizing by a zero weight — are clamped to
+    0.0 before aggregation. A flow whose normalized share is undefined
+    is scored as holding *no* valid share, which keeps the index finite
+    (NaN/inf would otherwise propagate through the squares into SLO
+    report hashes) while still dragging it toward 1/n, i.e. unfair.
+    All-zero inputs score 1.0 (equal — if empty — shares).
     """
-    rates = [r for r in normalized_rates]
+    rates = [r if math.isfinite(r) else 0.0 for r in normalized_rates]
     if not rates:
         raise FairnessError("jain_index needs at least one rate")
     total = sum(rates)
@@ -55,15 +76,24 @@ def relative_errors(
 ) -> Dict[str, float]:
     """Per-flow ``|measured − reference| / reference``.
 
-    Flows with a zero reference rate must also measure (near) zero.
+    Flows with a zero reference rate (quarantined: their whole Π-row
+    is down) must also measure (near) zero — within
+    :data:`ZERO_RATE_ATOL`. When they don't, the error is clamped to
+    :data:`MAX_RELATIVE_ERROR` rather than ``inf`` so downstream
+    ``max()`` aggregation and report hashing stay finite. Every
+    returned value is finite by construction.
     """
     errors: Dict[str, float] = {}
     for flow_id, expected in reference.items():
         actual = measured.get(flow_id, 0.0)
         if expected == 0:
-            errors[flow_id] = 0.0 if abs(actual) < 1e-9 else float("inf")
+            errors[flow_id] = (
+                0.0 if abs(actual) < ZERO_RATE_ATOL else MAX_RELATIVE_ERROR
+            )
         else:
-            errors[flow_id] = abs(actual - expected) / expected
+            errors[flow_id] = min(
+                abs(actual - expected) / expected, MAX_RELATIVE_ERROR
+            )
     return errors
 
 

@@ -60,9 +60,32 @@ class Cluster:
         return float(self.level) * weight
 
 
+@dataclass(frozen=True)
+class Stage:
+    """One progressive-filling freeze stage (union of all minimizers).
+
+    Stages are the algorithm's outer-loop iterations: every flow in
+    ``flows`` froze at ``level`` while ``interfaces`` left the remaining
+    instance. A stage may span several :class:`Cluster` components, and
+    two *different* stages can coincidentally share a level (a subset's
+    confined flow-set grows once earlier stages are removed), so stage
+    membership cannot be recovered from levels alone — the incremental
+    solver needs it recorded explicitly.
+    """
+
+    flows: FrozenSet[str]
+    interfaces: FrozenSet[str]
+    level: Fraction
+
+
 @dataclass
 class Allocation:
-    """The result of a max-min computation."""
+    """The result of a max-min computation.
+
+    Flows confined to zero-capacity interfaces (an outage — see
+    :func:`weighted_maxmin`) appear with an exact rate of 0 in a
+    level-0 cluster; they are *not* errors.
+    """
 
     #: Absolute rate per flow, bits/s (exact fractions).
     rates: Dict[str, Fraction]
@@ -70,6 +93,8 @@ class Allocation:
     clusters: List[Cluster]
     #: Interfaces that serve no flow (capacity necessarily unused).
     idle_interfaces: FrozenSet[str] = field(default_factory=frozenset)
+    #: Freeze stages in algorithm order (ascending level).
+    stages: List[Stage] = field(default_factory=list)
 
     def rate(self, flow_id: str) -> float:
         """Absolute rate of *flow_id* as a float."""
@@ -108,7 +133,12 @@ def weighted_maxmin(
         ``{flow_id: (weight, willing_interfaces_or_None)}``; ``None``
         means willing to use every interface.
     capacities:
-        ``{interface_id: capacity_bps}``.
+        ``{interface_id: capacity_bps}``. A capacity of exactly 0
+        models an interface outage: the interface stays part of the
+        instance (flows referencing it are *known*, not misconfigured)
+        but contributes no capacity, so a flow whose entire Π-row is
+        down is frozen at an exact rate of 0 — matching the engine's
+        quarantine semantics. Negative capacities are rejected.
 
     Returns
     -------
@@ -124,9 +154,9 @@ def weighted_maxmin(
         )
     caps: Dict[str, Fraction] = {}
     for interface_id, capacity in capacities.items():
-        if capacity <= 0:
+        if capacity < 0:
             raise FairnessError(
-                f"interface {interface_id!r} capacity must be positive, got {capacity}"
+                f"interface {interface_id!r} capacity must be >= 0, got {capacity}"
             )
         caps[interface_id] = _as_fraction(capacity)
 
@@ -154,6 +184,7 @@ def weighted_maxmin(
 
     rates: Dict[str, Fraction] = {}
     clusters: List[Cluster] = []
+    stages: List[Stage] = []
     remaining_flows = set(willing)
     remaining_ifaces = [j for j in interface_ids if j not in idle]
 
@@ -171,6 +202,9 @@ def weighted_maxmin(
         clusters.extend(
             _split_into_clusters(frozen_flows, frozen_ifaces, willing, level)
         )
+        stages.append(
+            Stage(flows=frozen_flows, interfaces=frozen_ifaces, level=level)
+        )
         remaining_flows -= frozen_flows
         remaining_ifaces = [j for j in remaining_ifaces if j not in frozen_ifaces]
         # Interfaces that only served frozen flows but were not in the
@@ -187,7 +221,9 @@ def weighted_maxmin(
             remaining_ifaces = [j for j in remaining_ifaces if j not in orphaned]
 
     clusters.sort(key=lambda c: c.level)
-    return Allocation(rates=rates, clusters=clusters, idle_interfaces=idle)
+    return Allocation(
+        rates=rates, clusters=clusters, idle_interfaces=idle, stages=stages
+    )
 
 
 def _bottleneck_stage(

@@ -24,6 +24,7 @@ from ..core.engine import SchedulingEngine
 from ..errors import FaultError
 from ..fairness.waterfill import weighted_maxmin
 from ..health.invariants import MiDrrInvariantChecker
+from ..health.auditor import FairnessAuditor
 from ..health.watchdog import Alert, Watchdog
 from ..net.addresses import Ipv4Address, MacAddress
 from ..net.flow import Flow
@@ -233,6 +234,8 @@ class ChaosRun:
         scheduler_factory: Optional[Callable[[], object]] = None,
         deadline_budgets: Optional[Mapping[str, float]] = None,
         queue_backend: str = "heap",
+        with_auditor: bool = False,
+        audit_period: float = 1.0,
     ) -> None:
         if duration < 20.0:
             # The fault window plus the settle/measure tail needs room.
@@ -365,6 +368,14 @@ class ChaosRun:
             stall_timeout=2.0,
             invariant_checker=self.checker,
         )
+        # Optional inline fairness auditing. The auditor is read-only
+        # with respect to scheduling, so enabling it leaves the report
+        # hash (and every packet-level decision) byte-identical.
+        self.auditor = (
+            FairnessAuditor(self.sim, self.engine, period=audit_period)
+            if with_auditor
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -400,9 +411,13 @@ class ChaosRun:
     def run(self) -> ChaosReport:
         """Execute the scenario and compile the report."""
         self.watchdog.start()
+        if self.auditor is not None:
+            self.auditor.start()
         self.engine.start()
         self.sim.run(until=self.duration)
         self.watchdog.stop()
+        if self.auditor is not None:
+            self.auditor.stop()
 
         stats: StatsCollector = self.engine.stats
         window = (self.fault_end + self.settle, self.duration)

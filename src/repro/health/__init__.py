@@ -3,24 +3,32 @@
 The :class:`Watchdog` periodically samples a
 :class:`~repro.core.engine.SchedulingEngine` and raises structured
 :class:`Alert` records for flow starvation and interface stalls; the
+:class:`FairnessAuditor` tracks the exact fluid max-min optimum
+incrementally and alerts when measured rates drift from it; the
 :class:`MiDrrInvariantChecker` validates the scheduler's internal state
 (deficit counters, service flags, turn bookkeeping) during chaos runs.
+Both periodic monitors share the escalating-series alert
+deduplication in :mod:`repro.health.alerts`.
 """
 
+from .alerts import Alert, AlertDeduper
+from .auditor import ALERT_FAIRNESS_DRIFT, FairnessAuditor
 from .invariants import MiDrrInvariantChecker
 from .watchdog import (
     ALERT_FLOW_STARVATION,
     ALERT_INTERFACE_STALL,
     ALERT_INVARIANT_VIOLATION,
-    Alert,
     Watchdog,
 )
 
 __all__ = [
+    "ALERT_FAIRNESS_DRIFT",
     "ALERT_FLOW_STARVATION",
     "ALERT_INTERFACE_STALL",
     "ALERT_INVARIANT_VIOLATION",
     "Alert",
+    "AlertDeduper",
+    "FairnessAuditor",
     "MiDrrInvariantChecker",
     "Watchdog",
 ]

@@ -1,0 +1,103 @@
+"""Structured health alerts and escalating-series deduplication.
+
+Shared by the :class:`~repro.health.watchdog.Watchdog` and the
+:class:`~repro.health.auditor.FairnessAuditor`: both detect
+*persistent* pathologies on a periodic tick, so both would otherwise
+flood one alert per tick for the lifetime of an outage. The
+:class:`AlertDeduper` turns such a flood into a short escalating
+series per ``(kind, subject)`` — emit immediately, then again after
+``gap`` seconds with the gap doubling per emission up to a cap, while
+counting (and later reporting) the suppressed repeats in between. The
+series resets the moment the subject recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured health alert."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:9.3f}s] {self.kind}: {self.subject} {self.detail}"
+
+
+@dataclass
+class AlertSeries:
+    """Escalation state for one repeating ``(kind, subject)`` alert."""
+
+    next_emit_at: float
+    gap: float
+    emitted: int = 0
+    suppressed: int = 0
+
+
+class AlertDeduper:
+    """Escalating-series suppression over ``(kind, subject)`` pairs."""
+
+    def __init__(self, max_gap: float) -> None:
+        self._max_gap = max_gap
+        self._series: Dict[Tuple[str, str], AlertSeries] = {}
+        #: Total repeats swallowed across every series.
+        self.suppressed_total = 0
+
+    def admit(
+        self, kind: str, subject: str, detail: str, base_gap: float, now: float
+    ) -> Optional[str]:
+        """Decide whether this occurrence emits or is suppressed.
+
+        Returns the detail to emit — augmented with the suppressed
+        repeat count when the series had swallowed occurrences since
+        the last emission — or ``None`` when this occurrence lands
+        inside the current gap and is only counted.
+        """
+        series = self._series.get((kind, subject))
+        if series is None:
+            series = AlertSeries(next_emit_at=now, gap=base_gap)
+            self._series[(kind, subject)] = series
+        if now < series.next_emit_at:
+            series.suppressed += 1
+            self.suppressed_total += 1
+            return None
+        if series.suppressed:
+            detail += f" ({series.suppressed} repeats suppressed)"
+        series.emitted += 1
+        series.suppressed = 0
+        series.next_emit_at = now + series.gap
+        series.gap = min(self._max_gap, series.gap * 2.0)
+        return detail
+
+    def clear(self, kind: str, subject: str) -> None:
+        """Forget escalation state once the subject made progress."""
+        self._series.pop((kind, subject), None)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (format shared with the owners' snapshots)
+    # ------------------------------------------------------------------
+    def snapshot_series(self) -> List[list]:
+        """Series state as JSON-safe rows."""
+        return [
+            [kind, subject, series.next_emit_at, series.gap,
+             series.emitted, series.suppressed]
+            for (kind, subject), series in self._series.items()
+        ]
+
+    def restore_series(self, rows: List[list]) -> None:
+        """Overwrite series state from :meth:`snapshot_series` rows."""
+        self._series = {
+            (kind, subject): AlertSeries(
+                next_emit_at=next_emit_at,
+                gap=gap,
+                emitted=emitted,
+                suppressed=suppressed,
+            )
+            for kind, subject, next_emit_at, gap, emitted, suppressed in rows
+        }

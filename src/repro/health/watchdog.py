@@ -23,31 +23,19 @@ the mode the deterministic-replay tests use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..core.engine import SchedulingEngine
 from ..errors import WatchdogError
 from ..sim.process import PeriodicProcess
 from ..sim.simulator import Simulator
+from .alerts import Alert, AlertDeduper
 from .invariants import MiDrrInvariantChecker
 
 #: Alert kinds.
 ALERT_FLOW_STARVATION = "flow_starvation"
 ALERT_INTERFACE_STALL = "interface_stall"
 ALERT_INVARIANT_VIOLATION = "invariant_violation"
-
-
-@dataclass(frozen=True)
-class Alert:
-    """One structured health alert."""
-
-    time: float
-    kind: str
-    subject: str
-    detail: str = ""
-
-    def __str__(self) -> str:
-        return f"[{self.time:9.3f}s] {self.kind}: {self.subject} {self.detail}"
 
 
 @dataclass
@@ -60,24 +48,6 @@ class _FlowSample:
 class _InterfaceSample:
     bytes_sent: int = 0
     last_progress: float = 0.0
-
-
-@dataclass
-class _AlertSeries:
-    """Escalation state for one repeating (kind, subject) alert.
-
-    A persistent pathology emits one alert immediately, then again
-    after ``gap`` seconds, with the gap doubling on every emission up
-    to a cap — a flood of identical alerts becomes a short escalating
-    series. Repeats arriving inside the gap are counted, and the next
-    emitted alert reports how many were suppressed. The series resets
-    the moment the subject makes progress.
-    """
-
-    next_emit_at: float
-    gap: float
-    emitted: int = 0
-    suppressed: int = 0
 
 
 class Watchdog:
@@ -107,15 +77,18 @@ class Watchdog:
         self._stall_timeout = stall_timeout
         self._checker = invariant_checker
         self._strict = strict
-        self._max_alert_gap = max_alert_gap
         self._process = PeriodicProcess(sim, period, self._tick)
         self._flow_samples: Dict[str, _FlowSample] = {}
         self._interface_samples: Dict[str, _InterfaceSample] = {}
-        self._series: Dict[Tuple[str, str], _AlertSeries] = {}
+        self._deduper = AlertDeduper(max_alert_gap)
         self._listeners: List[Callable[[Alert], None]] = []
         self.alerts: List[Alert] = []
-        self.alerts_suppressed = 0
         self.ticks = 0
+
+    @property
+    def alerts_suppressed(self) -> int:
+        """Repeats swallowed by the escalating alert series."""
+        return self._deduper.suppressed_total
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -163,25 +136,13 @@ class Watchdog:
         ``max_alert_gap``. Suppressed repeats are counted and reported
         in the next emitted alert's detail.
         """
-        series = self._series.get((kind, subject))
-        if series is None:
-            series = _AlertSeries(next_emit_at=now, gap=base_gap)
-            self._series[(kind, subject)] = series
-        if now < series.next_emit_at:
-            series.suppressed += 1
-            self.alerts_suppressed += 1
-            return
-        if series.suppressed:
-            detail += f" ({series.suppressed} repeats suppressed)"
-        series.emitted += 1
-        series.suppressed = 0
-        series.next_emit_at = now + series.gap
-        series.gap = min(self._max_alert_gap, series.gap * 2.0)
-        self._raise(kind, subject, detail)
+        admitted = self._deduper.admit(kind, subject, detail, base_gap, now)
+        if admitted is not None:
+            self._raise(kind, subject, admitted)
 
     def _clear_series(self, kind: str, subject: str) -> None:
         """Forget escalation state once the subject made progress."""
-        self._series.pop((kind, subject), None)
+        self._deduper.clear(kind, subject)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -207,17 +168,13 @@ class Watchdog:
                 interface_id: [sample.bytes_sent, sample.last_progress]
                 for interface_id, sample in self._interface_samples.items()
             },
-            "series": [
-                [kind, subject, series.next_emit_at, series.gap,
-                 series.emitted, series.suppressed]
-                for (kind, subject), series in self._series.items()
-            ],
+            "series": self._deduper.snapshot_series(),
         }
 
     def restore_state(self, state: dict) -> None:
         """Overwrite mutable state from :meth:`snapshot_state`."""
         self.ticks = state["ticks"]
-        self.alerts_suppressed = state["alerts_suppressed"]
+        self._deduper.suppressed_total = state["alerts_suppressed"]
         self.alerts = [
             Alert(time=time, kind=kind, subject=subject, detail=detail)
             for time, kind, subject, detail in state["alerts"]
@@ -230,16 +187,7 @@ class Watchdog:
             interface_id: _InterfaceSample(bytes_sent=sent, last_progress=progress)
             for interface_id, (sent, progress) in state["interface_samples"].items()
         }
-        self._series = {
-            (kind, subject): _AlertSeries(
-                next_emit_at=next_emit_at,
-                gap=gap,
-                emitted=emitted,
-                suppressed=suppressed,
-            )
-            for kind, subject, next_emit_at, gap, emitted, suppressed
-            in state["series"]
-        }
+        self._deduper.restore_series(state["series"])
 
     def _tick(self, now: float) -> None:
         self.ticks += 1

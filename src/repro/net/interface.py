@@ -78,6 +78,9 @@ SentListener = Callable[["Interface", Packet], None]
 #: Signature of up/down listeners: ``listener(interface, is_up)``.
 StateListener = Callable[["Interface", bool], None]
 
+#: Signature of line-rate listeners: ``listener(interface, rate_bps)``.
+RateListener = Callable[["Interface", float], None]
+
 #: Signature of egress filters: return ``True`` to deliver the packet,
 #: ``False`` to consume it (loss injection / corruption discard).
 EgressFilter = Callable[["Interface", Packet], bool]
@@ -141,6 +144,7 @@ class Interface:
         self._source: Optional[PacketSource] = None
         self._sent_listeners: List[SentListener] = []
         self._state_listeners: List[StateListener] = []
+        self._rate_listeners: List[RateListener] = []
         self._egress_filters: List[EgressFilter] = []
         self._busy = False
         self._pulling = False
@@ -190,6 +194,10 @@ class Interface:
     def on_state_change(self, listener: StateListener) -> None:
         """Register a callback fired on every up/down transition."""
         self._state_listeners.append(listener)
+
+    def on_rate_change(self, listener: RateListener) -> None:
+        """Register a callback fired after every :meth:`set_rate`."""
+        self._rate_listeners.append(listener)
 
     def add_egress_filter(self, egress_filter: EgressFilter) -> None:
         """Append an egress filter (fault injectors, checksum verifiers).
@@ -372,6 +380,8 @@ class Interface:
             self._trace.emit(
                 self._sim.now, self.interface_id, "rate_change", rate_bps=rate_bps
             )
+        for listener in self._rate_listeners:
+            listener(self, self._rate_bps)
 
     def apply_capacity_schedule(self, steps: Sequence[CapacityStep]) -> None:
         """Schedule future :class:`CapacityStep` changes on the simulator.

@@ -5,7 +5,8 @@ north star needs: counters, gauges, streaming histograms and quantile
 sketches behind a :class:`MetricsRegistry`; a
 :class:`SnapshotProcess` that samples the registry on the *virtual*
 clock and exports JSONL; and :func:`instrument_engine` /
-:func:`instrument_watchdog`, which wire a running
+:func:`instrument_watchdog` / :func:`instrument_auditor`, which
+wire a running
 :class:`~repro.core.engine.SchedulingEngine`, its scheduler and
 interfaces, and the health watchdog into a registry without
 perturbing the hot path (see ``docs/observability.md`` for the metric
@@ -15,6 +16,7 @@ catalog and measured overhead).
 from .instrument import (
     DECISION_LATENCY_SAMPLE_EVERY,
     EngineInstrumentation,
+    instrument_auditor,
     instrument_engine,
     instrument_watchdog,
 )
@@ -43,6 +45,7 @@ __all__ = [
     "QuantileSketch",
     "SNAPSHOT_SCHEMA_VERSION",
     "SnapshotProcess",
+    "instrument_auditor",
     "instrument_engine",
     "instrument_watchdog",
     "read_jsonl",

@@ -32,6 +32,7 @@ from typing import Callable, Optional
 
 from ..core.engine import SchedulingEngine
 from ..errors import ConfigurationError
+from ..health.auditor import FairnessAuditor
 from ..health.watchdog import Watchdog
 from ..net.interface import Interface
 from ..net.packet import Packet
@@ -462,3 +463,56 @@ def instrument_watchdog(watchdog: Watchdog, registry: MetricsRegistry) -> None:
         ).inc()
 
     watchdog.on_alert(_count)
+
+
+def instrument_auditor(auditor: FairnessAuditor, registry: MetricsRegistry) -> None:
+    """Expose a fairness auditor's telemetry through *registry*.
+
+    Gauges are callback-backed (sampled at snapshot time, like the
+    engine gauges); per-alert counters increment as alerts fire.
+    """
+    registry.gauge(
+        "fairness.audits_total",
+        "Completed drift audits (quiescent-window ticks)",
+        fn=lambda: auditor.audits_total,
+    )
+    registry.gauge(
+        "fairness.drift_max",
+        "Max normalized |measured - fluid optimum| at the last audit",
+        fn=lambda: auditor.drift_last,
+    )
+    registry.gauge(
+        "fairness.drift_peak",
+        "Max normalized drift across the run",
+        fn=lambda: auditor.drift_peak,
+    )
+    registry.gauge(
+        "fairness.cluster_count",
+        "Rate clusters in the live max-min allocation",
+        fn=lambda: len(auditor.solver.allocation.clusters),
+    )
+    registry.gauge(
+        "fairness.alerts_total",
+        "Fairness-drift alerts raised",
+        fn=lambda: len(auditor.alerts),
+    )
+    registry.gauge(
+        "fairness.incremental_solves_total",
+        "Deltas resolved by the warm-started suffix solve",
+        fn=lambda: auditor.solver.incremental_solves,
+    )
+    registry.gauge(
+        "fairness.full_solves_total",
+        "Deltas that fell back to a from-scratch solve",
+        fn=lambda: auditor.solver.full_solves,
+    )
+    registry.gauge(
+        "fairness.incremental_solve_ratio",
+        "Share of deltas resolved without a full re-solve",
+        fn=lambda: auditor.solver.incremental_ratio,
+    )
+    raised = registry.counter(
+        "fairness.alerts_raised_total",
+        "Fairness alerts raised since instrumentation",
+    )
+    auditor.on_alert(lambda alert: raised.inc())

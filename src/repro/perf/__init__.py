@@ -44,6 +44,7 @@ from .obs_bench import (
     OVERHEAD_NOISE_CEILING,
     committed_baseline_cell,
     render_overhead_table,
+    run_auditor_overhead,
     run_metrics_overhead,
 )
 
@@ -75,6 +76,7 @@ __all__ = [
     "run_core_bench",
     "run_fleet_bench",
     "run_fleet_cell",
+    "run_auditor_overhead",
     "run_metrics_overhead",
     "validate_bench_document",
     "validate_fleet_cells",

@@ -223,3 +223,74 @@ def render_overhead_table(
     return render_table(
         ["variant", "packets/s", "events/s", "wall s"], rows, title=title
     )
+
+
+def run_auditor_overhead(
+    seed: int = 0,
+    duration: float = 20.0,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """Paired chaos runs without/with the inline fairness auditor.
+
+    Same noise handling as :func:`run_metrics_overhead`: an untimed
+    warmup per variant, then ABBA rounds whose per-variant pairs are
+    averaged, with the median round reported. Every run's
+    deterministic signature is compared as a side effect — the auditor
+    must not change a single scheduling decision, so a signature
+    mismatch is an error, not noise.
+    """
+    from time import perf_counter
+
+    from ..faults.chaos import ChaosRun
+
+    if repeats <= 0:
+        raise ConfigurationError(f"repeats must be positive, got {repeats}")
+
+    def timed(with_auditor: bool) -> Dict[str, object]:
+        gc.collect()
+        start = perf_counter()
+        run = ChaosRun(seed=seed, duration=duration, with_auditor=with_auditor)
+        report = run.run()
+        wall = perf_counter() - start
+        return {
+            "wall_seconds": wall,
+            "signature": report.stats_signature() + report.fault_signature(),
+        }
+
+    timed(False)
+    timed(True)
+    signatures = set()
+    rounds: List[tuple] = []
+    for _ in range(repeats):
+        bare_a = timed(False)
+        audited_a = timed(True)
+        audited_b = timed(True)
+        bare_b = timed(False)
+        for cell in (bare_a, audited_a, audited_b, bare_b):
+            signatures.add(cell["signature"])
+        rounds.append(
+            (
+                (bare_a["wall_seconds"] + bare_b["wall_seconds"]) / 2,
+                (audited_a["wall_seconds"] + audited_b["wall_seconds"]) / 2,
+            )
+        )
+    if len(signatures) != 1:
+        raise ConfigurationError(
+            "fairness auditor perturbed the chaos run: report signatures "
+            "diverge between audited and bare runs"
+        )
+    rounds.sort(key=lambda pair: pair[1] / pair[0])
+    bare_wall, audited_wall = rounds[(len(rounds) - 1) // 2]
+    overhead = audited_wall / bare_wall - 1.0
+    return {
+        "name": "auditor-overhead",
+        "seed": seed,
+        "duration": duration,
+        "repeats": repeats,
+        "bare_wall_seconds": round(bare_wall, 6),
+        "audited_wall_seconds": round(audited_wall, 6),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": OVERHEAD_BUDGET,
+        "within_budget": overhead < OVERHEAD_BUDGET,
+        "signatures_identical": True,
+    }

@@ -1,5 +1,7 @@
 """The latency-SLO report: statistics helpers and determinism contract."""
 
+import math
+
 import pytest
 
 from repro.analysis.slo import (
@@ -34,6 +36,38 @@ class TestStatistics:
     def test_jain_degenerate_cases(self):
         assert jain_index({}) == 1.0
         assert jain_index({"a": 0.0, "b": 0.0}) == 1.0
+
+    def test_jain_clamps_nonfinite_rates(self):
+        # Regression: a NaN (0/0 normalization) or inf (zero weight)
+        # used to flow straight into the squares; now it scores as a
+        # zero share and the index stays finite.
+        value = jain_index({"a": float("nan"), "b": 5.0, "c": float("inf")})
+        assert math.isfinite(value)
+        assert value == pytest.approx(jain_index({"a": 0.0, "b": 5.0, "c": 0.0}))
+        assert jain_index({"a": float("nan")}) == 1.0
+
+    def test_nonfinite_rates_cannot_poison_the_report_hash(self):
+        # The hash covers jain_fairness!r; a NaN there would make the
+        # report hash unstable (nan != nan) and unreproducible.
+        poisoned = jain_index({"a": float("nan"), "b": 1.0, "c": 2.0})
+        clean = jain_index({"a": 0.0, "b": 1.0, "c": 2.0})
+        row = dict(
+            scheduler="midrr",
+            deadline_packets=10,
+            deadline_misses=0,
+            p99_miss_lateness=0.0,
+            bytes_total=1000,
+            admission_rejected=0,
+            admission_shed=0,
+            alerts=0,
+            invariant_violations=0,
+        )
+        report_a = SloReport(seed=1, duration=20.0, budgets={"f": 0.1})
+        report_a.rows.append(SloRow(jain_fairness=poisoned, **row))
+        report_b = SloReport(seed=1, duration=20.0, budgets={"f": 0.1})
+        report_b.rows.append(SloRow(jain_fairness=clean, **row))
+        assert "nan" not in report_a.rows[0].signature_line()
+        assert report_a.report_hash() == report_b.report_hash()
 
 
 class TestReportShape:

@@ -1,6 +1,7 @@
 """Tests for the fluid reference simulator and the theory artifacts."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError, FairnessError
 from repro.fairness.fluid import (
@@ -237,3 +238,114 @@ class TestFluidProperties:
             current = result.cumulative_service("b", t)
             assert current >= previous - 1e-9
             previous = current
+
+
+@st.composite
+def fluid_scenario(draw):
+    """A random piecewise scenario: staggered arrivals, finite flows,
+    capacity steps (including outages)."""
+    iface_count = draw(st.integers(min_value=1, max_value=3))
+    capacities = {
+        f"if{j}": mbps(draw(st.integers(min_value=1, max_value=10)))
+        for j in range(iface_count)
+    }
+    iface_ids = list(capacities)
+    flows = []
+    for index in range(draw(st.integers(min_value=1, max_value=4))):
+        willing = draw(
+            st.one_of(
+                st.none(),
+                st.lists(
+                    st.sampled_from(iface_ids),
+                    min_size=1,
+                    max_size=iface_count,
+                    unique=True,
+                ).map(tuple),
+            )
+        )
+        flows.append(
+            FluidFlow(
+                f"f{index}",
+                weight=draw(st.sampled_from([0.5, 1.0, 2.0])),
+                interfaces=willing,
+                start_time=draw(st.sampled_from([0.0, 1.5, 4.0])),
+                total_bytes=draw(
+                    st.one_of(st.none(), st.sampled_from([1e5, 1e6, 5e6]))
+                ),
+            )
+        )
+    steps = [
+        FluidCapacityStep(
+            time=draw(st.sampled_from([2.0, 3.5, 6.0, 8.0])),
+            interface_id=draw(st.sampled_from(iface_ids)),
+            rate_bps=mbps(draw(st.integers(min_value=0, max_value=8))),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    ]
+    return capacities, flows, steps
+
+
+class TestRateAtConservation:
+    """Byte conservation pins the rate_at boundary semantics.
+
+    ``cumulative_service`` integrates the segments directly; sampling
+    ``rate_at`` at every segment's *start* (an exact boundary) and
+    summing rate x span must reproduce it bit for bit. The pre-fix
+    lookup shifted boundary times into the following segment, so the
+    two disagreed on any scenario whose rates change over time.
+    """
+
+    DURATION = 10.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(scenario=fluid_scenario())
+    def test_rate_at_integrates_to_cumulative_service(self, scenario):
+        capacities, flows, steps = scenario
+        result = FluidSimulator(capacities, flows, steps).run(self.DURATION)
+        for flow in flows:
+            integral_bits = sum(
+                result.rate_at(flow.flow_id, segment.start)
+                * (segment.end - segment.start)
+                for segment in result.segments
+            )
+            served = result.cumulative_service(flow.flow_id, self.DURATION)
+            assert integral_bits / 8 == pytest.approx(
+                served, rel=1e-9, abs=1e-6
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(scenario=fluid_scenario())
+    def test_rate_at_is_right_continuous_at_boundaries(self, scenario):
+        capacities, flows, steps = scenario
+        result = FluidSimulator(capacities, flows, steps).run(self.DURATION)
+        for segment in result.segments:
+            for flow in flows:
+                assert result.rate_at(flow.flow_id, segment.start) == (
+                    segment.rates.get(flow.flow_id, 0.0)
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(scenario=fluid_scenario())
+    def test_rate_at_final_end_and_beyond(self, scenario):
+        capacities, flows, steps = scenario
+        result = FluidSimulator(capacities, flows, steps).run(self.DURATION)
+        last = result.segments[-1]
+        for flow in flows:
+            # Exactly `duration` still reads the final segment ...
+            assert result.rate_at(flow.flow_id, last.end) == (
+                last.rates.get(flow.flow_id, 0.0)
+            )
+            # ... but anything meaningfully past it is outside the window.
+            assert result.rate_at(flow.flow_id, last.end + 1e-6) == 0.0
+            assert result.rate_at(flow.flow_id, -1.0) == 0.0
+
+    def test_rate_changes_at_an_exact_step_boundary(self):
+        # Regression for the off-by-one-segment bug in its simplest
+        # form: a capacity step at t=5 must be visible *at* t=5.
+        result = FluidSimulator(
+            {"if1": mbps(2)},
+            [FluidFlow("a")],
+            [FluidCapacityStep(time=5.0, interface_id="if1", rate_bps=mbps(6))],
+        ).run(10.0)
+        assert result.rate_at("a", 5.0 - 1e-3) == pytest.approx(mbps(2))
+        assert result.rate_at("a", 5.0) == pytest.approx(mbps(6))

@@ -1,9 +1,13 @@
 """Unit tests for fairness metrics."""
 
+import math
+
 import pytest
 
 from repro.errors import FairnessError
 from repro.fairness.metrics import (
+    MAX_RELATIVE_ERROR,
+    ZERO_RATE_ATOL,
     directional_fairness,
     jain_index,
     max_relative_error,
@@ -36,6 +40,22 @@ class TestJainIndex:
         # (1+2+3)² / (3·(1+4+9)) = 36/42.
         assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
 
+    def test_nan_entries_clamp_to_zero(self):
+        # A 0/0 normalization upstream must not poison the index: the
+        # NaN scores as "no valid share" and the index stays finite.
+        value = jain_index([float("nan"), 5.0, 5.0])
+        assert math.isfinite(value)
+        assert value == pytest.approx(jain_index([0.0, 5.0, 5.0]))
+
+    def test_inf_entries_clamp_to_zero(self):
+        value = jain_index([float("inf"), 1.0, float("-inf")])
+        assert math.isfinite(value)
+        assert value == pytest.approx(jain_index([0.0, 1.0, 0.0]))
+
+    def test_all_nonfinite_scores_one(self):
+        # Every share undefined degenerates to the all-zero convention.
+        assert jain_index([float("nan"), float("inf")]) == 1.0
+
 
 class TestRelativeErrors:
     def test_basic(self):
@@ -50,8 +70,27 @@ class TestRelativeErrors:
     def test_zero_reference_zero_measured(self):
         assert relative_errors({"a": 0.0}, {"a": 0.0})["a"] == 0.0
 
-    def test_zero_reference_nonzero_measured(self):
-        assert relative_errors({"a": 5.0}, {"a": 0.0})["a"] == float("inf")
+    def test_zero_reference_nonzero_measured_clamps(self):
+        # Maximally wrong, but finite: inf would leak into max() chains
+        # and SLO report hashes downstream.
+        error = relative_errors({"a": 5.0}, {"a": 0.0})["a"]
+        assert error == MAX_RELATIVE_ERROR
+        assert math.isfinite(error)
+
+    def test_zero_reference_numerical_residue_is_zero(self):
+        residue = ZERO_RATE_ATOL / 2
+        assert relative_errors({"a": residue}, {"a": 0.0})["a"] == 0.0
+
+    def test_huge_ratio_clamps(self):
+        error = relative_errors({"a": 1e30}, {"a": 1e-12})["a"]
+        assert error == MAX_RELATIVE_ERROR
+
+    def test_all_errors_finite_by_construction(self):
+        errors = relative_errors(
+            {"a": 5.0, "b": 1e30, "c": 0.0},
+            {"a": 0.0, "b": 1e-15, "c": 100.0},
+        )
+        assert all(math.isfinite(e) for e in errors.values())
 
     def test_max_relative_error(self):
         assert max_relative_error(

@@ -135,9 +135,18 @@ class TestExactness:
 
 
 class TestValidation:
-    def test_nonpositive_capacity_rejected(self):
+    def test_negative_capacity_rejected(self):
         with pytest.raises(FairnessError):
-            weighted_maxmin({"a": (1.0, None)}, {"if1": 0})
+            weighted_maxmin({"a": (1.0, None)}, {"if1": -1.0})
+
+    def test_zero_capacity_is_an_outage_not_an_error(self):
+        # Capacity 0 models a downed interface: the flow confined to it
+        # is part of the instance at an exact rate of 0 (the engine's
+        # quarantine semantics), not a configuration error.
+        allocation = weighted_maxmin({"a": (1.0, None)}, {"if1": 0})
+        assert allocation.rates["a"] == 0
+        cluster = allocation.cluster_of("a")
+        assert cluster is not None and cluster.level == 0
 
     def test_nonpositive_weight_rejected(self):
         with pytest.raises(FairnessError):
@@ -174,3 +183,79 @@ class TestPreferenceSetWrapper:
         allocation = allocation_from_prefs(prefs, {"if1": 3e6, "if2": 10e6})
         assert allocation.rate("a") == pytest.approx(3e6)
         assert allocation.rate("b") == pytest.approx(10e6)
+
+
+class TestOutageSemantics:
+    """Capacity-0 interfaces model outages; quarantined flows pin at 0.
+
+    These pin the satellite bugfix: before it, ``weighted_maxmin``
+    rejected capacity 0 outright, so the fluid reference could not
+    even *express* the engine's quarantine state, let alone agree
+    with it.
+    """
+
+    def test_flow_confined_to_dead_interface_rates(self):
+        allocation = weighted_maxmin(
+            {"pinned": (1.0, ["cell"]), "roamer": (1.0, None)},
+            {"wifi": 8e6, "cell": 0},
+        )
+        # The quarantined flow is exactly 0 (Fraction, not approx) and
+        # the survivor absorbs the full remaining capacity.
+        assert allocation.rates["pinned"] == 0
+        assert allocation.rate("roamer") == pytest.approx(8e6)
+        levels = sorted(c.level for c in allocation.clusters)
+        assert levels[0] == 0
+
+    def test_zero_capacity_subset_restriction(self):
+        # A flow restricted to a mix of dead interfaces only: all-zero
+        # capacity over the row still yields rate 0, not an error.
+        allocation = weighted_maxmin(
+            {"a": (2.0, ["c1", "c2"]), "b": (1.0, ["up"])},
+            {"c1": 0, "c2": 0, "up": 1e6},
+        )
+        assert allocation.rates["a"] == 0
+        assert allocation.rate("b") == pytest.approx(1e6)
+
+    def test_matches_engine_quarantine_path(self):
+        # The engine parks a flow whose whole Π-row is down; the fluid
+        # optimum computed from live capacities (rate if up else 0)
+        # must agree that the parked flow's share is exactly 0.
+        from repro.core.engine import SchedulingEngine
+        from repro.net.flow import Flow
+        from repro.net.interface import Interface
+        from repro.schedulers.midrr import MiDrrScheduler
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator()
+        engine = SchedulingEngine(sim, MiDrrScheduler())
+        wifi = Interface(sim, "wifi", 8e6)
+        cell = Interface(sim, "cell", 2e6)
+        engine.add_interface(wifi)
+        engine.add_interface(cell)
+        engine.add_flow(Flow("bulk", weight=1.0))
+        engine.add_flow(Flow("pinned", weight=1.0, allowed_interfaces=("cell",)))
+        cell.bring_down()
+        assert "pinned" in engine.quarantined_flows
+
+        allocation = weighted_maxmin(
+            {
+                flow_id: (flow.weight, flow.allowed_interfaces)
+                for flow_id, flow in engine.flows.items()
+            },
+            {
+                interface.interface_id: (
+                    interface.rate_bps if interface.up else 0
+                )
+                for interface in engine.interfaces.values()
+            },
+        )
+        assert allocation.rates["pinned"] == 0
+        assert allocation.rate("bulk") == pytest.approx(8e6)
+
+    def test_all_interfaces_down_total_outage(self):
+        allocation = weighted_maxmin(
+            {"a": (1.0, None), "b": (3.0, None)}, {"if1": 0, "if2": 0}
+        )
+        assert allocation.rates["a"] == 0
+        assert allocation.rates["b"] == 0
+        assert allocation.total_rate() == 0
